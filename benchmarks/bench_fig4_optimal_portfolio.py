@@ -1,0 +1,55 @@
+"""FIG4 — solution quality when the exact solver proves optimality.
+
+Paper: Figure 4 — on 199 optimally solved instances (mean 54 variables,
+mean density 0.157) QHD matched the proven optimum in 75.4% of cases,
+with relative gaps at most 1.6% otherwise.
+
+This bench regenerates the small-dense regime, classifies instances by
+the exact solver's terminal status and reports QHD's match rate against
+the proven optima.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_scale, save_report
+from repro.experiments.solver_comparison import (
+    PortfolioReport,
+    SolverComparisonConfig,
+    compare_on_instance,
+)
+from repro.qubo.random_instances import PortfolioGenerator, PortfolioSpec
+
+
+def run_fig4() -> PortfolioReport:
+    scale = bench_scale()
+    config = SolverComparisonConfig(
+        qhd_samples=24,
+        qhd_steps=100,
+        qhd_grid_points=16,
+        min_time_limit=2.0,
+        seed=2025,
+    )
+    spec = PortfolioSpec.small_dense(
+        n_instances=max(6, round(16 * scale))
+    )
+    instances = PortfolioGenerator(seed=config.seed).generate(spec)
+    report = PortfolioReport()
+    for instance in instances:
+        report.outcomes.append(compare_on_instance(instance, config))
+    return report
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_optimal_portfolio(benchmark):
+    report = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    summary = report.fig4_summary()
+    save_report("fig4_optimal_portfolio", report.to_text())
+
+    # Shape assertions: a healthy optimal pool exists and QHD matches the
+    # majority of proven optima with small worst-case gaps (paper: 75.4%
+    # matched, gaps <= 1.6%).
+    assert summary["n_instances"] >= 2
+    assert summary["qhd_matched"] >= 0.5
+    assert summary["qhd_gap_max"] <= 0.10

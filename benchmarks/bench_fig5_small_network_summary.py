@@ -1,0 +1,46 @@
+"""FIG5 — win-rate / time-ratio summary over the Table I instances.
+
+Paper: Figure 5 — QHD achieves higher modularity in 8/10 instances with
+a mean improvement of +0.0029 while using ~20% of GUROBI's time.
+
+This bench runs the same pairing as TAB1 but reports the Figure 5
+aggregates (win rate, mean modularity difference, time ratio).  The
+exact solver receives 5x QHD's time, matching the paper's published
+time ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_scale, save_report
+from repro.experiments.small_networks import (
+    SmallNetworksConfig,
+    run_small_networks,
+)
+
+
+def run_fig5():
+    scale = bench_scale()
+    config = SmallNetworksConfig(
+        instance_scale=min(1.0, 0.15 * scale),
+        qhd_samples=16,
+        qhd_steps=100,
+        qhd_grid_points=16,
+        exact_time_factor=5.0,
+        min_time_limit=0.3,
+        seed=11,
+    )
+    return run_small_networks(config)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_small_network_summary(benchmark):
+    report = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    summary = report.fig5_summary()
+    save_report("fig5_small_network_summary", report.to_text())
+
+    # Shape: QHD wins or ties the bulk of instances and consumes a
+    # fraction of the exact solver's time budget.
+    assert summary["qhd_wins"] + summary["ties"] >= 0.6
+    assert summary["time_ratio"] < 1.0

@@ -1,0 +1,39 @@
+"""LFR-SWEEP — detectability curve on the standard LFR benchmark.
+
+An extension beyond the paper's own tables: sweep the LFR mixing
+parameter and check that the QHD pipeline tracks the planted communities
+well below the detectability limit and degrades gracefully above it —
+the canonical robustness figure in the community-detection literature.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_scale, save_report
+from repro.experiments.lfr_sweep import run_lfr_sweep
+from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
+
+
+@pytest.mark.benchmark(group="lfr")
+def test_lfr_mixing_sweep(benchmark):
+    scale = bench_scale()
+
+    def run():
+        return run_lfr_sweep(
+            n_nodes=max(120, round(150 * scale)),
+            mixings=(0.05, 0.2, 0.4, 0.6),
+            solver=SimulatedAnnealingSolver(
+                n_sweeps=150, n_restarts=3, seed=0
+            ),
+            seed=17,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("lfr_mixing_sweep", report.to_text())
+
+    points = report.points
+    assert points[0].qhd_nmi > 0.7, "easy regime must be solved"
+    # NMI does not increase as mixing grows (monotone-ish degradation).
+    assert points[-1].qhd_nmi <= points[0].qhd_nmi + 0.05
+    assert report.detectability_knee(threshold=0.5) >= 0.2

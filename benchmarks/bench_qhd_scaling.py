@@ -1,0 +1,42 @@
+"""QHD-SCALE — wall-time scaling of one QHD evolution step.
+
+Not a paper table, but the quantitative backing for the paper's
+scalability claim (§IV-A): each step is a fixed number of batched dense
+matmuls, so step cost grows polynomially (~n^2 from the mean-field
+matvec) rather than exponentially in problem size.  pytest-benchmark
+times a fixed-step solve at increasing variable counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qhd.solver import QhdSolver
+from repro.qubo.random_instances import random_qubo
+
+
+@pytest.mark.benchmark(group="qhd-scaling")
+@pytest.mark.parametrize("n_variables", [50, 100, 200, 400])
+def test_qhd_step_scaling(benchmark, n_variables):
+    model = random_qubo(n_variables, 0.05, seed=1)
+    solver = QhdSolver(
+        n_samples=8, n_steps=20, grid_points=16, shots=2, seed=0
+    )
+    result = benchmark.pedantic(
+        solver.solve, args=(model,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.x.shape == (n_variables,)
+
+
+@pytest.mark.benchmark(group="exact-scaling")
+@pytest.mark.parametrize("n_variables", [50, 100, 200])
+def test_branch_and_bound_timelimit_scaling(benchmark, n_variables):
+    """B&B under a fixed budget: node throughput drops with size."""
+    from repro.solvers.branch_and_bound import BranchAndBoundSolver
+
+    model = random_qubo(n_variables, 0.05, seed=2)
+    solver = BranchAndBoundSolver(time_limit=0.5)
+    result = benchmark.pedantic(
+        solver.solve, args=(model,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.iterations > 0

@@ -1,0 +1,48 @@
+"""SCALING — the size crossover behind the paper's scalability claim.
+
+Paper §V-B / Fig. 2: QHD matches the exact solver on small instances and
+surpasses it beyond ~1,000 variables.  This bench sweeps problem sizes
+under the time-matched protocol and checks (a) QHD's wall time grows
+polynomially (batched matmuls, no exponential blow-up) and (b) the exact
+solver stops proving optimality as sizes grow while QHD stays
+competitive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_scale, save_report
+from repro.experiments.scaling import run_scaling
+from repro.solvers.base import SolverStatus
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_crossover(benchmark):
+    scale = bench_scale()
+    sizes = (50, 100, 200, 400)
+    if scale >= 2:
+        sizes = sizes + (800,)
+
+    report = benchmark.pedantic(
+        lambda: run_scaling(sizes=sizes, min_time_limit=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("scaling_crossover", report.to_text())
+
+    points = report.points
+    # (a) Polynomial growth: doubling n must not blow past ~n^3.
+    assert report.qhd_time_growth() < 9.0
+    # (b) The exact solver proves optimality only at the small end...
+    assert points[0].exact_status is SolverStatus.OPTIMAL or (
+        points[0].winner != "exact"
+    )
+    # ...and hits its time limit at the large end.
+    assert points[-1].exact_status is SolverStatus.TIME_LIMIT
+    # (c) QHD never loses by more than a small relative margin anywhere.
+    for p in points:
+        margin = (p.qhd_energy - p.exact_energy) / max(
+            1.0, abs(p.exact_energy)
+        )
+        assert margin < 0.05, p.n_variables

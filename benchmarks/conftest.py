@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (table or figure) and
+prints the corresponding report so the output can be compared line by
+line with the paper.  Scale is controlled by the ``REPRO_BENCH_SCALE``
+environment variable (default 1.0 = the calibrated CI size; larger values
+approach the paper's full instance sizes at proportional wall time).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Global benchmark scale multiplier from the environment."""
+    try:
+        value = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return max(0.1, value)
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a report under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,96 @@
+"""Scenario: production hedging — adaptive penalties + a solver portfolio.
+
+Two robustness tools a downstream user reaches for when a single
+configuration misbehaves:
+
+* :class:`~repro.community.AdaptivePenaltyDetector` escalates the
+  Eq. 3/4 penalty weights until the raw QUBO solution is feasible;
+* :class:`~repro.solvers.PortfolioSolver` runs several solvers on the
+  same QUBO and keeps the best answer.
+
+The workload is an LFR benchmark graph — heterogeneous degrees *and*
+community sizes, harder than the planted-partition toy case.
+
+Run:
+    python examples/adaptive_and_portfolio.py
+"""
+
+from __future__ import annotations
+
+from repro.community import (
+    AdaptivePenaltyDetector,
+    DirectQuboDetector,
+    modularity,
+    normalized_mutual_information,
+)
+from repro.experiments.reporting import format_table
+from repro.graphs import lfr_graph
+from repro.qhd import QhdSolver
+from repro.solvers import (
+    GreedySolver,
+    PortfolioSolver,
+    SimulatedAnnealingSolver,
+    TabuSolver,
+)
+
+
+def main() -> None:
+    graph, truth = lfr_graph(
+        150, mixing=0.15, average_degree=8.0, seed=21
+    )
+    k = len(set(truth.tolist()))
+    print(
+        f"LFR graph: {graph.n_nodes} nodes, {graph.n_edges} edges, "
+        f"{k} planted communities, planted Q = "
+        f"{modularity(graph, truth):.4f}"
+    )
+
+    # --- 1. Adaptive penalty escalation --------------------------------
+    adaptive = AdaptivePenaltyDetector(
+        QhdSolver(n_samples=16, n_steps=100, grid_points=16, seed=0),
+        initial_scale=0.05,  # deliberately soft start
+        escalation=5.0,
+    )
+    result = adaptive.detect(graph, n_communities=k)
+    print(f"\nadaptive detector: Q = {result.modularity:.4f} after "
+          f"{result.metadata['rounds']} penalty round(s)")
+    history_rows = [
+        [f"{lam:.4g}", unassigned, multi]
+        for lam, unassigned, multi in result.metadata["penalty_history"]
+    ]
+    print(
+        format_table(
+            ["lambda_A", "unassigned", "multi_assigned"],
+            history_rows,
+            title="penalty escalation history (raw solver output)",
+        )
+    )
+
+    # --- 2. Solver portfolio -------------------------------------------
+    portfolio = PortfolioSolver(
+        [
+            QhdSolver(n_samples=16, n_steps=100, grid_points=16, seed=0),
+            SimulatedAnnealingSolver(n_sweeps=200, n_restarts=3, seed=0),
+            TabuSolver(n_iterations=2000, seed=0),
+            GreedySolver(n_restarts=8, seed=0),
+        ]
+    )
+    detector = DirectQuboDetector(portfolio)
+    portfolio_result = detector.detect(graph, n_communities=k)
+    ranking = portfolio_result.solve_result.metadata["ranking"]
+    print(f"\nportfolio detector: Q = {portfolio_result.modularity:.4f} "
+          f"(winner: {portfolio_result.solve_result.metadata['winner']})")
+    print(
+        format_table(
+            ["solver", "qubo_energy"],
+            [[name, energy] for name, energy in ranking],
+            title="portfolio ranking on the CD QUBO",
+        )
+    )
+
+    nmi = normalized_mutual_information(portfolio_result.labels, truth)
+    print(f"\nNMI vs planted communities: {nmi:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Scenario: inspecting the three phases of QHD dynamics (§II-A).
+
+QHD evolves under H(t) = e^{phi(t)} (-1/2 Laplacian) + e^{chi(t)} f(x)
+and passes through three phases — kinetic, global search, descent.  This
+example records a full evolution trace on a frustrated QUBO and renders
+the schedule coefficients and the ensemble energy as ASCII sparklines, so
+the phase structure is visible without any plotting dependency.
+
+Run:
+    python examples/qhd_dynamics_visualization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonian import QhdDefaultSchedule, get_schedule
+from repro.qhd import QhdSolver
+from repro.qubo import random_qubo
+from repro.solvers import BruteForceSolver
+
+SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """Render values as a fixed-width ASCII intensity strip."""
+    values = np.asarray(values, dtype=float)
+    if len(values) > width:
+        bins = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in bins])
+    lo, hi = values.min(), values.max()
+    span = hi - lo if hi > lo else 1.0
+    levels = ((values - lo) / span * (len(SPARK_CHARS) - 1)).astype(int)
+    return "".join(SPARK_CHARS[level] for level in levels)
+
+
+def main() -> None:
+    model = random_qubo(18, 0.4, seed=5)
+    _, optimum = BruteForceSolver().solve(model).energy, None
+    exact_energy = BruteForceSolver().solve(model).energy
+
+    solver = QhdSolver(
+        n_samples=16,
+        n_steps=240,
+        grid_points=24,
+        t_final=1.0,
+        schedule=QhdDefaultSchedule(1.0, gamma=8.0),
+        record_trace=True,
+        seed=1,
+    )
+    details = solver.solve_detailed(model)
+    trace = details.trace
+    assert trace is not None
+
+    print("QHD evolution trace (time runs left to right)\n")
+    print(f"kinetic coefficient  e^phi(t):  "
+          f"{sparkline(np.log10(trace.kinetic_coefficients))}")
+    print(f"potential coefficient e^chi(t): "
+          f"{sparkline(np.log10(trace.potential_coefficients))}")
+    print(f"ensemble mean energy f(<x>):    "
+          f"{sparkline(trace.mean_relaxed_energy)}")
+    print(f"ensemble best energy:           "
+          f"{sparkline(trace.best_relaxed_energy)}")
+
+    crossover = np.argmin(
+        np.abs(
+            np.log(trace.kinetic_coefficients)
+            - np.log(trace.potential_coefficients)
+        )
+    )
+    print(
+        f"\nphases: kinetic-dominated until ~step {crossover} "
+        f"(of {len(trace)}), then global search, then descent"
+    )
+    print(f"\nfinal QHD energy:        {details.best_energy:.4f}")
+    print(f"proven optimum:          {exact_energy:.4f}")
+    print(f"candidates measured:     {len(details.samples)}")
+    matched = np.isclose(details.best_energy, exact_energy, atol=1e-9)
+    print(f"matched the optimum:     {'yes' if matched else 'no'}")
+
+    # Bonus: how the alternative schedules traverse the same landscape.
+    print("\nschedule comparison on the same instance:")
+    for name in ("qhd-default", "linear", "exponential"):
+        result = QhdSolver(
+            n_samples=16,
+            n_steps=240,
+            grid_points=24,
+            schedule=get_schedule(name, 1.0),
+            seed=1,
+        ).solve(model)
+        gap = result.energy - exact_energy
+        print(f"  {name:<12} energy {result.energy:9.4f}   "
+              f"gap to optimum {gap:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

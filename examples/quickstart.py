@@ -1,0 +1,59 @@
+"""Quickstart: QHD-based community detection in a dozen lines.
+
+Builds a small community-structured graph, runs the paper's pipeline
+(QUBO formulation + Quantum Hamiltonian Descent), and compares the
+result against the planted ground truth and the Louvain baseline.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import QhdCommunityDetector
+from repro.community import (
+    louvain,
+    modularity,
+    normalized_mutual_information,
+    partition_summary,
+)
+from repro.graphs import planted_partition_graph
+
+
+def main() -> None:
+    # A graph with 4 planted communities of 25 nodes each.
+    graph, truth = planted_partition_graph(
+        n_communities=4,
+        community_size=25,
+        p_in=0.35,
+        p_out=0.02,
+        seed=7,
+    )
+    print(f"graph: {graph.n_nodes} nodes, {graph.n_edges} edges, "
+          f"density {100 * graph.density:.2f}%")
+
+    # The paper's pipeline: direct QUBO + QHD for networks this size.
+    detector = QhdCommunityDetector(
+        qhd_samples=16, qhd_steps=100, qhd_grid_points=16, seed=7
+    )
+    result = detector.detect(graph, n_communities=4)
+
+    print(f"\nmethod:      {result.method}")
+    print(f"modularity:  {result.modularity:.4f} "
+          f"(ground truth: {modularity(graph, truth):.4f})")
+    print(f"communities: {result.n_communities}")
+    print(f"NMI vs planted truth: "
+          f"{normalized_mutual_information(result.labels, truth):.3f}")
+    print(f"wall time:   {result.wall_time:.2f}s")
+
+    # Compare against the classical Louvain baseline.
+    louvain_labels = louvain(graph)
+    print(f"\nLouvain modularity:   {modularity(graph, louvain_labels):.4f}")
+
+    # A one-line quality report.
+    summary = partition_summary(graph, result.labels)
+    print(f"\npartition summary: {summary.as_row()}")
+
+
+if __name__ == "__main__":
+    main()

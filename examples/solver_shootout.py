@@ -1,0 +1,82 @@
+"""Scenario: the paper's time-matched QUBO solver comparison (§V-B).
+
+Reproduces the evaluation methodology on a handful of instances: QHD runs
+first; the exact branch & bound (our GUROBI substitute) then receives
+QHD's wall-clock time as its budget.  Instances where the exact solver
+proves optimality audit QHD's accuracy; instances where it times out
+show QHD's scalability advantage.
+
+Run:
+    python examples/solver_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.qhd import QhdSolver
+from repro.qubo import random_qubo
+from repro.solvers import (
+    BranchAndBoundSolver,
+    GreedySolver,
+    SimulatedAnnealingSolver,
+    TabuSolver,
+)
+
+
+def main() -> None:
+    cases = [
+        ("small-dense", 40, 0.20, 1),
+        ("medium", 150, 0.08, 2),
+        ("large-sparse", 500, 0.03, 3),
+    ]
+    rows = []
+    for name, n, density, seed in cases:
+        model = random_qubo(n, density, seed=seed)
+
+        qhd = QhdSolver(
+            n_samples=24, n_steps=100, grid_points=16, seed=0
+        ).solve(model)
+        budget = max(1.0, qhd.wall_time)
+
+        exact = BranchAndBoundSolver(time_limit=budget).solve(model)
+        annealer = SimulatedAnnealingSolver(
+            n_sweeps=300, n_restarts=4, time_limit=budget, seed=0
+        ).solve(model)
+        tabu = TabuSolver(
+            n_iterations=10**6, time_limit=budget, seed=0
+        ).solve(model)
+        greedy = GreedySolver(n_restarts=16, seed=0).solve(model)
+
+        for result in (qhd, exact, annealer, tabu, greedy):
+            rows.append(
+                [
+                    name,
+                    n,
+                    result.solver_name,
+                    result.energy,
+                    str(result.status),
+                    result.wall_time,
+                ]
+            )
+        rows.append(["-"] * 6)
+
+    print(
+        format_table(
+            ["instance", "vars", "solver", "energy", "status", "time_s"],
+            rows[:-1],
+            title=(
+                "time-matched QUBO shootout "
+                "(every solver gets QHD's wall-clock budget)"
+            ),
+        )
+    )
+    print(
+        "\nReading guide: on small-dense instances branch & bound proves"
+        "\nOPTIMAL and QHD should match it; on large-sparse instances the"
+        "\nexact solver hits TIME_LIMIT and QHD typically reports the"
+        "\nlowest energy (paper Figures 3 and 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

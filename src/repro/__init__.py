@@ -1,0 +1,50 @@
+"""Scalable community detection using Quantum Hamiltonian Descent.
+
+Reproduction of *"Scalable Community Detection Using Quantum Hamiltonian
+Descent and QUBO Formulation"* (DAC 2025, arXiv:2411.14696).
+
+Quickstart::
+
+    from repro import QhdCommunityDetector
+    from repro.graphs import planted_partition_graph
+
+    graph, truth = planted_partition_graph(4, 30, 0.3, 0.02, seed=7)
+    detector = QhdCommunityDetector(seed=7)
+    result = detector.detect(graph, n_communities=4)
+    print(result.modularity, result.n_communities)
+
+Packages
+--------
+``repro.graphs``
+    Graph substrate: CSR graphs, generators, IO, coarsening.
+``repro.qubo``
+    QUBO models and the Algorithm 1 community-detection formulation.
+``repro.hamiltonian``
+    Grids, schedules and split-operator propagators for QHD.
+``repro.qhd``
+    The Quantum Hamiltonian Descent solver (plus exact validators).
+``repro.solvers``
+    Classical QUBO solvers, including the branch & bound GUROBI substitute.
+``repro.community``
+    Modularity, direct/multilevel detection pipelines and baselines.
+``repro.datasets``
+    Synthetic substitutes for the paper's benchmark networks.
+``repro.experiments``
+    Runners regenerating every table and figure of the evaluation.
+"""
+
+from repro._version import __version__
+from repro.community.detector import QhdCommunityDetector
+from repro.community.result import CommunityResult
+from repro.graphs.graph import Graph
+from repro.qhd.solver import QhdSolver
+from repro.qubo.model import QuboModel
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "QuboModel",
+    "QhdSolver",
+    "QhdCommunityDetector",
+    "CommunityResult",
+]

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    repro detect  --input graph.txt --communities 4 [--solver qhd ...]
+    repro bench   --experiment fig3|fig4|table1|table2|fig5|fig6 [--scale S]
+
+``detect`` runs the paper's pipeline on an edge-list file and prints the
+assignment plus quality metrics.  ``bench`` regenerates one evaluation
+artefact at a chosen scale and prints the report.  Both are also callable
+programmatically via :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _build_solver(name: str, seed: int | None, time_limit: float):
+    """Instantiate a solver by CLI name."""
+    from repro.qhd.solver import QhdSolver
+    from repro.solvers import (
+        BranchAndBoundSolver,
+        GreedySolver,
+        SimulatedAnnealingSolver,
+        TabuSolver,
+    )
+
+    solvers = {
+        "qhd": lambda: QhdSolver(seed=seed),
+        "branch-and-bound": lambda: BranchAndBoundSolver(
+            time_limit=time_limit
+        ),
+        "simulated-annealing": lambda: SimulatedAnnealingSolver(seed=seed),
+        "tabu": lambda: TabuSolver(seed=seed),
+        "greedy": lambda: GreedySolver(seed=seed),
+    }
+    try:
+        return solvers[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown solver {name!r}; choose from {sorted(solvers)}"
+        ) from None
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.community.detector import QhdCommunityDetector
+    from repro.community.metrics import partition_summary
+    from repro.graphs.io import read_edge_list
+
+    graph = read_edge_list(args.input, weighted=args.weighted)
+    print(
+        f"loaded {args.input}: {graph.n_nodes} nodes, "
+        f"{graph.n_edges} edges"
+    )
+    solver = _build_solver(args.solver, args.seed, args.time_limit)
+    detector = QhdCommunityDetector(
+        solver=solver,
+        direct_threshold=args.direct_threshold,
+        seed=args.seed,
+    )
+    result = detector.detect(graph, n_communities=args.communities)
+
+    print(f"method:      {result.method}")
+    print(f"modularity:  {result.modularity:.4f}")
+    print(f"communities: {result.n_communities}")
+    print(f"wall time:   {result.wall_time:.2f}s")
+    summary = partition_summary(graph, result.labels)
+    print(f"coverage:    {summary.coverage:.3f}")
+    print(
+        f"sizes:       min {summary.min_size}, max {summary.max_size}"
+    )
+    if args.output:
+        np.savetxt(args.output, result.labels, fmt="%d")
+        print(f"labels written to {args.output}")
+    elif args.print_labels:
+        print("labels:", " ".join(str(c) for c in result.labels))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    scale = args.scale
+    if args.experiment in ("fig3", "fig4"):
+        from repro.experiments.solver_comparison import (
+            SolverComparisonConfig,
+            run_solver_comparison,
+        )
+
+        config = SolverComparisonConfig(
+            portfolio_scale=max(0.002, 0.02 * scale),
+            min_time_limit=2.0 if args.experiment == "fig4" else 1.0,
+        )
+        report = run_solver_comparison(config)
+        print(report.to_text())
+    elif args.experiment in ("table1", "fig5"):
+        from repro.experiments.small_networks import (
+            SmallNetworksConfig,
+            run_small_networks,
+        )
+
+        config = SmallNetworksConfig(
+            instance_scale=min(1.0, 0.2 * scale)
+        )
+        print(run_small_networks(config).to_text())
+    elif args.experiment in ("table2", "fig6"):
+        from repro.experiments.large_networks import (
+            LargeNetworksConfig,
+            run_large_networks,
+        )
+
+        config = LargeNetworksConfig(
+            instance_scale=min(1.0, 0.1 * scale), n_seeds=2
+        )
+        print(run_large_networks(config).to_text())
+    else:
+        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scalable community detection with Quantum Hamiltonian "
+            "Descent (DAC 2025 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser(
+        "detect", help="detect communities in an edge-list file"
+    )
+    detect.add_argument("--input", required=True, help="edge-list path")
+    detect.add_argument(
+        "--communities", type=int, required=True, help="max communities k"
+    )
+    detect.add_argument(
+        "--solver",
+        default="qhd",
+        help="qhd | branch-and-bound | simulated-annealing | tabu | greedy",
+    )
+    detect.add_argument("--seed", type=int, default=None)
+    detect.add_argument(
+        "--time-limit",
+        type=float,
+        default=60.0,
+        help="budget for the exact solver (seconds)",
+    )
+    detect.add_argument(
+        "--direct-threshold",
+        type=int,
+        default=1000,
+        help="largest network solved by one direct QUBO (paper: 1000)",
+    )
+    detect.add_argument("--weighted", action="store_true")
+    detect.add_argument(
+        "--output", default=None, help="write labels to this file"
+    )
+    detect.add_argument("--print-labels", action="store_true")
+    detect.set_defaults(func=_cmd_detect)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate one paper table/figure"
+    )
+    bench.add_argument(
+        "--experiment",
+        required=True,
+        help="fig3 | fig4 | table1 | fig5 | table2 | fig6",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale multiplier (1.0 = laptop-calibrated)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

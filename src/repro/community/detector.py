@@ -1,0 +1,99 @@
+"""The headline public API: QHD-based community detection.
+
+:class:`QhdCommunityDetector` reproduces the paper's end-to-end pipeline:
+direct QUBO + QHD for networks up to ``direct_threshold`` nodes
+(|V| <= 1000 in the paper, §III-B.2) and the multilevel Algorithm 2
+otherwise.  Any other :class:`repro.solvers.QuboSolver` can be swapped in,
+which is exactly how the GUROBI-substitute comparison runs are produced.
+"""
+
+from __future__ import annotations
+
+from repro.community.direct import DirectQuboDetector
+from repro.community.multilevel import MultilevelConfig, MultilevelDetector
+from repro.community.result import CommunityResult
+from repro.graphs.graph import Graph
+from repro.solvers.base import QuboSolver
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_integer
+
+
+class QhdCommunityDetector:
+    """End-to-end quantum-inspired community detection.
+
+    Parameters
+    ----------
+    solver:
+        QUBO solver for the (base-level) solve.  ``None`` builds a
+        :class:`repro.qhd.QhdSolver` from ``qhd_*`` parameters below.
+    direct_threshold:
+        Networks with at most this many nodes are solved by one direct
+        QUBO; larger networks go through the multilevel pipeline (the
+        paper draws this line at 1000 nodes).
+    multilevel_config:
+        Tuning of the multilevel phase.
+    qhd_samples, qhd_steps, qhd_grid_points:
+        Convenience QHD settings used when ``solver`` is ``None``.
+    seed:
+        Seed of the default QHD solver.
+
+    Examples
+    --------
+    >>> from repro.graphs import ring_of_cliques
+    >>> graph, truth = ring_of_cliques(3, 6)
+    >>> detector = QhdCommunityDetector(qhd_samples=8, qhd_steps=80, seed=0)
+    >>> result = detector.detect(graph, n_communities=3)
+    >>> result.n_communities
+    3
+    """
+
+    def __init__(
+        self,
+        solver: QuboSolver | None = None,
+        direct_threshold: int = 1000,
+        multilevel_config: MultilevelConfig | None = None,
+        lambda_assignment: float | None = None,
+        lambda_balance: float | None = None,
+        refine_passes: int = 5,
+        qhd_samples: int = 32,
+        qhd_steps: int = 200,
+        qhd_grid_points: int = 32,
+        seed: SeedLike = None,
+    ) -> None:
+        self.direct_threshold = check_integer(
+            direct_threshold, "direct_threshold", minimum=1
+        )
+        if solver is None:
+            from repro.qhd.solver import QhdSolver
+
+            solver = QhdSolver(
+                n_samples=qhd_samples,
+                n_steps=qhd_steps,
+                grid_points=qhd_grid_points,
+                seed=seed,
+            )
+        self.solver = solver
+        config = multilevel_config or MultilevelConfig(
+            refine_passes=max(1, refine_passes)
+        )
+        self._direct = DirectQuboDetector(
+            solver=solver,
+            lambda_assignment=lambda_assignment,
+            lambda_balance=lambda_balance,
+            refine_passes=refine_passes,
+        )
+        self._multilevel = MultilevelDetector(
+            solver=solver,
+            config=config,
+            lambda_assignment=lambda_assignment,
+            lambda_balance=lambda_balance,
+        )
+
+    def detect(self, graph: Graph, n_communities: int) -> CommunityResult:
+        """Detect at most ``n_communities`` communities in ``graph``.
+
+        Dispatches to the direct or multilevel pipeline by graph size.
+        """
+        if graph.n_nodes <= self.direct_threshold:
+            return self._direct.detect(graph, n_communities)
+        return self._multilevel.detect(graph, n_communities)

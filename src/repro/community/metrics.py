@@ -1,0 +1,185 @@
+"""Partition quality metrics beyond modularity.
+
+NMI and ARI compare detected communities against planted ground truth on
+synthetic instances; conductance and coverage characterise cut quality.
+All are implemented natively (no sklearn dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.modularity import modularity
+from repro.exceptions import PartitionError
+from repro.graphs.graph import Graph
+
+
+def _contingency(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> np.ndarray:
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise PartitionError(
+            f"label arrays must be 1-D with equal length, got "
+            f"{a.shape} and {b.shape}"
+        )
+    _, a_idx = np.unique(a, return_inverse=True)
+    _, b_idx = np.unique(b, return_inverse=True)
+    table = np.zeros((a_idx.max() + 1, b_idx.max() + 1), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table
+
+
+def normalized_mutual_information(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1].
+
+    Examples
+    --------
+    >>> normalized_mutual_information([0, 0, 1, 1], [1, 1, 0, 0])
+    1.0
+    """
+    table = _contingency(labels_a, labels_b)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    joint = table / n
+    pa = joint.sum(axis=1)
+    pb = joint.sum(axis=0)
+    nz = joint > 0
+    mi = float(
+        np.sum(
+            joint[nz]
+            * np.log(joint[nz] / np.outer(pa, pb)[nz])
+        )
+    )
+    ha = -float(np.sum(pa[pa > 0] * np.log(pa[pa > 0])))
+    hb = -float(np.sum(pb[pb > 0] * np.log(pb[pb > 0])))
+    if ha == 0.0 and hb == 0.0:
+        return 1.0  # both partitions are single communities
+    denom = 0.5 * (ha + hb)
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(mi / denom, 0.0, 1.0))
+
+
+def adjusted_rand_index(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> float:
+    """Adjusted Rand index (chance-corrected pair agreement).
+
+    Examples
+    --------
+    >>> adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 1])
+    1.0
+    """
+    table = _contingency(labels_a, labels_b)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = float(comb2(table.astype(np.float64)).sum())
+    sum_rows = float(comb2(table.sum(axis=1).astype(np.float64)).sum())
+    sum_cols = float(comb2(table.sum(axis=0).astype(np.float64)).sum())
+    total = float(comb2(np.float64(n)))
+    expected = sum_rows * sum_cols / total
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def conductance(graph: Graph, labels: np.ndarray) -> dict[int, float]:
+    """Conductance of each community: cut / min(vol, total - vol).
+
+    Lower is better; an isolated clique scores 0.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (graph.n_nodes,):
+        raise PartitionError(
+            f"labels must have shape ({graph.n_nodes},), got {labels.shape}"
+        )
+    two_m = 2.0 * graph.total_weight
+    communities = np.unique(labels)
+    cut = {int(c): 0.0 for c in communities}
+    volume = {int(c): 0.0 for c in communities}
+    for c in communities:
+        members = labels == c
+        volume[int(c)] = float(np.sum(np.asarray(graph.degrees)[members]))
+    edge_u, edge_v, edge_w = graph.edge_arrays()
+    for u, v, w in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
+        if labels[u] != labels[v]:
+            cut[int(labels[u])] += float(w)
+            cut[int(labels[v])] += float(w)
+    result = {}
+    for c in communities:
+        c = int(c)
+        denom = min(volume[c], two_m - volume[c])
+        result[c] = cut[c] / denom if denom > 0 else 0.0
+    return result
+
+
+def coverage(graph: Graph, labels: np.ndarray) -> float:
+    """Fraction of edge weight that is intra-community, in [0, 1]."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (graph.n_nodes,):
+        raise PartitionError(
+            f"labels must have shape ({graph.n_nodes},), got {labels.shape}"
+        )
+    if graph.total_weight == 0:
+        return 1.0
+    edge_u, edge_v, edge_w = graph.edge_arrays()
+    internal = sum(
+        w
+        for u, v, w in zip(
+            edge_u.tolist(), edge_v.tolist(), edge_w.tolist()
+        )
+        if labels[u] == labels[v]
+    )
+    # Clip: summation order can push the ratio epsilon past 1.0.
+    return float(min(1.0, max(0.0, internal / graph.total_weight)))
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """One-line quality summary of a partition."""
+
+    n_communities: int
+    modularity: float
+    coverage: float
+    max_conductance: float
+    min_size: int
+    max_size: int
+
+    def as_row(self) -> dict[str, float]:
+        """Flatten to a dict for tabular reporting."""
+        return {
+            "communities": self.n_communities,
+            "modularity": self.modularity,
+            "coverage": self.coverage,
+            "max_conductance": self.max_conductance,
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+        }
+
+
+def partition_summary(graph: Graph, labels: np.ndarray) -> PartitionSummary:
+    """Compute a :class:`PartitionSummary` for ``labels`` on ``graph``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    values, counts = np.unique(labels, return_counts=True)
+    cond = conductance(graph, labels)
+    return PartitionSummary(
+        n_communities=len(values),
+        modularity=modularity(graph, labels),
+        coverage=coverage(graph, labels),
+        max_conductance=max(cond.values()) if cond else 0.0,
+        min_size=int(counts.min()) if len(counts) else 0,
+        max_size=int(counts.max()) if len(counts) else 0,
+    )

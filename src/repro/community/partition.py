@@ -1,0 +1,95 @@
+"""Partition container: validated community labels with common queries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+
+
+class Partition:
+    """An immutable node-to-community assignment.
+
+    Parameters
+    ----------
+    labels:
+        Non-negative integer community id per node.  Labels need not be
+        contiguous; :meth:`compacted` renumbers them ``0..k-1`` by first
+        appearance.
+
+    Examples
+    --------
+    >>> p = Partition([0, 0, 2, 2, 2])
+    >>> p.n_communities
+    2
+    >>> p.compacted().labels.tolist()
+    [0, 0, 1, 1, 1]
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels) -> None:
+        arr = np.asarray(labels, dtype=np.int64)
+        if arr.ndim != 1:
+            raise PartitionError(
+                f"labels must be 1-D, got shape {arr.shape}"
+            )
+        if arr.size and arr.min() < 0:
+            raise PartitionError("labels must be non-negative")
+        arr = arr.copy()
+        arr.flags.writeable = False
+        self._labels = arr
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The raw label array (read-only)."""
+        return self._labels
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered."""
+        return len(self._labels)
+
+    @property
+    def n_communities(self) -> int:
+        """Number of distinct (non-empty) communities."""
+        return len(np.unique(self._labels)) if self._labels.size else 0
+
+    def sizes(self) -> dict[int, int]:
+        """Community id -> member count."""
+        values, counts = np.unique(self._labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def members(self, community: int) -> np.ndarray:
+        """Node ids belonging to ``community``."""
+        return np.flatnonzero(self._labels == community)
+
+    def communities(self) -> list[np.ndarray]:
+        """All communities as arrays of node ids, ordered by label."""
+        return [
+            self.members(int(c)) for c in np.unique(self._labels)
+        ]
+
+    def compacted(self) -> "Partition":
+        """Relabel communities to ``0..k-1`` by first appearance."""
+        mapping: dict[int, int] = {}
+        new = np.empty_like(self._labels)
+        for i, label in enumerate(self._labels.tolist()):
+            if label not in mapping:
+                mapping[label] = len(mapping)
+            new[i] = mapping[label]
+        return Partition(new)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return np.array_equal(self._labels, other._labels)
+
+    def __hash__(self) -> int:  # pragma: no cover - identity is enough
+        return hash(self._labels.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(n_nodes={self.n_nodes}, "
+            f"n_communities={self.n_communities})"
+        )

@@ -1,0 +1,53 @@
+"""Result container shared by all community-detection entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.solvers.base import SolveResult
+
+
+@dataclass(frozen=True)
+class CommunityResult:
+    """Outcome of one community-detection run.
+
+    Attributes
+    ----------
+    labels:
+        Community id per node (compact, ``0..k-1``).
+    modularity:
+        Modularity (Eq. 1) of ``labels`` on the input graph.
+    method:
+        Human-readable pipeline identifier, e.g. ``"direct-qubo[qhd]"`` or
+        ``"multilevel[branch-and-bound]"``.
+    wall_time:
+        End-to-end seconds, including QUBO construction and refinement.
+    solve_result:
+        The underlying QUBO solver result when the pipeline used one
+        (``None`` for purely classical baselines).
+    metadata:
+        Pipeline-specific extras (levels, refinement passes, ...).
+    """
+
+    labels: np.ndarray
+    modularity: float
+    method: str
+    wall_time: float
+    solve_result: SolveResult | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_communities(self) -> int:
+        """Number of non-empty communities in the result."""
+        return len(np.unique(self.labels)) if len(self.labels) else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityResult(method={self.method!r}, "
+            f"modularity={self.modularity:.4f}, "
+            f"n_communities={self.n_communities}, "
+            f"wall_time={self.wall_time:.3f}s)"
+        )

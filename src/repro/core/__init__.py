@@ -1,0 +1,26 @@
+"""The paper's primary contribution, re-exported for convenient import.
+
+``repro.core`` bundles the QHD solver, the QUBO formulation and the
+community-detection pipelines into one namespace::
+
+    from repro.core import QhdCommunityDetector, QhdSolver
+
+See DESIGN.md for the full system inventory.
+"""
+
+from repro.community.detector import QhdCommunityDetector
+from repro.community.direct import DirectQuboDetector
+from repro.community.multilevel import MultilevelConfig, MultilevelDetector
+from repro.community.result import CommunityResult
+from repro.qhd.solver import QhdSolver
+from repro.qubo.builders import build_community_qubo
+
+__all__ = [
+    "QhdCommunityDetector",
+    "DirectQuboDetector",
+    "MultilevelDetector",
+    "MultilevelConfig",
+    "CommunityResult",
+    "QhdSolver",
+    "build_community_qubo",
+]

@@ -1,0 +1,28 @@
+"""Benchmark dataset substitutes.
+
+The paper evaluates on 10 unnamed small networks (Table I) and four SNAP
+social networks (Table II).  Without network access, this package provides
+(a) a registry of every published instance's properties and paper-reported
+modularity scores, and (b) synthetic community-structured generators that
+match each instance's node count, edge count and density.
+"""
+
+from repro.datasets.registry import (
+    InstanceSpec,
+    get_instance,
+    table1_instances,
+    table2_instances,
+)
+from repro.datasets.synthetic import (
+    build_matched_graph,
+    scaled_spec,
+)
+
+__all__ = [
+    "InstanceSpec",
+    "get_instance",
+    "table1_instances",
+    "table2_instances",
+    "build_matched_graph",
+    "scaled_spec",
+]

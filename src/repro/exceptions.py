@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one base class to handle any failure originating in this package while
+letting genuine programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed or unsupported graph inputs."""
+
+
+class QuboError(ReproError):
+    """Raised for malformed QUBO models or invalid QUBO operations."""
+
+
+class SolverError(ReproError):
+    """Raised when a QUBO solver is misconfigured or fails internally."""
+
+
+class ScheduleError(ReproError):
+    """Raised for invalid Hamiltonian time-dependence schedules."""
+
+
+class SimulationError(ReproError):
+    """Raised when a quantum-dynamics simulation becomes invalid.
+
+    Typical causes are loss of wavefunction normalisation beyond tolerance
+    or non-finite amplitudes produced by too coarse a time step.
+    """
+
+
+class PartitionError(ReproError):
+    """Raised for invalid community assignments or partition operations."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be constructed as specified."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is inconsistent."""

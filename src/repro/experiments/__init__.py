@@ -1,0 +1,66 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each runner returns a report object with the measured rows plus a
+``to_text()`` rendering that mirrors the corresponding paper artefact.
+See DESIGN.md section 4 for the experiment index.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.solver_comparison import (
+    InstanceOutcome,
+    PortfolioReport,
+    SolverComparisonConfig,
+    run_solver_comparison,
+)
+from repro.experiments.small_networks import (
+    SmallNetworksConfig,
+    SmallNetworksReport,
+    run_small_networks,
+)
+from repro.experiments.large_networks import (
+    LargeNetworksConfig,
+    LargeNetworksReport,
+    run_large_networks,
+)
+from repro.experiments.scaling import ScalingReport, run_scaling
+from repro.experiments.robustness import (
+    RobustnessReport,
+    rewire_edges,
+    run_robustness,
+)
+from repro.experiments.lfr_sweep import LfrSweepReport, run_lfr_sweep
+from repro.experiments.paper_report import (
+    ReportScale,
+    generate_paper_report,
+)
+from repro.experiments.ablations import (
+    run_multilevel_ablation,
+    run_penalty_ablation,
+    run_schedule_ablation,
+)
+
+__all__ = [
+    "format_table",
+    "SolverComparisonConfig",
+    "InstanceOutcome",
+    "PortfolioReport",
+    "run_solver_comparison",
+    "SmallNetworksConfig",
+    "SmallNetworksReport",
+    "run_small_networks",
+    "LargeNetworksConfig",
+    "LargeNetworksReport",
+    "run_large_networks",
+    "run_schedule_ablation",
+    "run_penalty_ablation",
+    "run_multilevel_ablation",
+    "ReportScale",
+    "generate_paper_report",
+    "ScalingReport",
+    "run_scaling",
+    "LfrSweepReport",
+    "run_lfr_sweep",
+    "RobustnessReport",
+    "rewire_edges",
+    "run_robustness",
+]

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment prints its results as an aligned ASCII table so the
+benchmark harness output can be compared line by line against the paper's
+tables and figure captions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Examples
+    --------
+    >>> print(format_table(["a", "b"], [[1, 2.0]], float_format=".1f"))
+    a  b
+    -  ---
+    1  2.0
+    """
+    formatted = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are "
+                f"{len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(fraction: float) -> str:
+    """Format a fraction as a one-decimal percentage string."""
+    return f"{100.0 * fraction:.1f}%"

@@ -1,0 +1,400 @@
+"""A compact weighted undirected graph with CSR adjacency.
+
+The library's algorithms (modularity, QUBO construction, coarsening,
+refinement) all operate on dense node indices ``0..n-1`` and need fast
+neighbour iteration and weighted degrees.  :class:`Graph` stores a symmetric
+CSR adjacency built once at construction; instances are immutable, so derived
+quantities (degrees, total edge weight) are computed eagerly and shared
+freely.
+
+Self-loops are supported because graph coarsening creates them: an intra-
+super-node edge becomes a self-loop whose weight is counted *twice* in the
+weighted degree, matching the convention used by modularity (each self-loop
+contributes ``2w`` to ``2m``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+
+class Graph:
+    """Immutable weighted undirected graph on nodes ``0..n_nodes-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.  Isolated nodes are allowed.
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, weight)`` tuples.  Duplicate
+        ``(u, v)`` pairs are merged by summing weights; ``(v, u)`` is the
+        same edge as ``(u, v)``.  ``u == v`` creates a self-loop.
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2, 2.0)])
+    >>> g.n_edges
+    2
+    >>> g.degree(1)
+    3.0
+    >>> sorted(int(nb) for nb in g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = (
+        "_n",
+        "_edge_u",
+        "_edge_v",
+        "_edge_w",
+        "_indptr",
+        "_indices",
+        "_weights",
+        "_degrees",
+        "_total_weight",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[Sequence[float]] = (),
+    ) -> None:
+        if isinstance(n_nodes, bool) or not isinstance(
+            n_nodes, (int, np.integer)
+        ):
+            raise GraphError(f"n_nodes must be an integer, got {n_nodes!r}")
+        if n_nodes < 0:
+            raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
+        self._n = int(n_nodes)
+
+        edge_u, edge_v, edge_w = self._normalize_edges(edges)
+        self._edge_u = edge_u
+        self._edge_v = edge_v
+        self._edge_w = edge_w
+        self._build_csr()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _normalize_edges(
+        self, edges: Iterable[Sequence[float]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonicalise edges: u <= v, merged duplicates, validated ids."""
+        u_list: list[int] = []
+        v_list: list[int] = []
+        w_list: list[float] = []
+        for item in edges:
+            if len(item) == 2:
+                u, v = item  # type: ignore[misc]
+                w = 1.0
+            elif len(item) == 3:
+                u, v, w = item  # type: ignore[misc]
+            else:
+                raise GraphError(
+                    f"edges must be (u, v) or (u, v, w), got {item!r}"
+                )
+            u = int(u)
+            v = int(v)
+            w = float(w)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) references a node outside "
+                    f"0..{self._n - 1}"
+                )
+            if not np.isfinite(w):
+                raise GraphError(f"edge ({u}, {v}) has non-finite weight {w}")
+            if w < 0:
+                raise GraphError(
+                    f"edge ({u}, {v}) has negative weight {w}; only "
+                    "non-negative weights are supported"
+                )
+            if u > v:
+                u, v = v, u
+            u_list.append(u)
+            v_list.append(v)
+            w_list.append(w)
+
+        if not u_list:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=np.float64)
+            return empty_i, empty_i.copy(), empty_f
+
+        u_arr = np.asarray(u_list, dtype=np.int64)
+        v_arr = np.asarray(v_list, dtype=np.int64)
+        w_arr = np.asarray(w_list, dtype=np.float64)
+
+        # Merge duplicate (u, v) pairs by summing weights.
+        keys = u_arr * self._n + v_arr
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        u_arr, v_arr, w_arr = u_arr[order], v_arr[order], w_arr[order]
+        unique_mask = np.empty(len(keys), dtype=bool)
+        unique_mask[0] = True
+        unique_mask[1:] = keys[1:] != keys[:-1]
+        group_ids = np.cumsum(unique_mask) - 1
+        merged_w = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(merged_w, group_ids, w_arr)
+        keep = np.flatnonzero(unique_mask)
+        return u_arr[keep], v_arr[keep], merged_w
+
+    def _build_csr(self) -> None:
+        """Build the symmetric CSR adjacency and degree cache."""
+        n = self._n
+        u, v, w = self._edge_u, self._edge_v, self._edge_w
+        loop_mask = u == v
+        nu = np.concatenate([u, v[~loop_mask]])
+        nv = np.concatenate([v, u[~loop_mask]])
+        nw = np.concatenate([w, w[~loop_mask]])
+
+        counts = np.bincount(nu, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(nu, kind="stable")
+        self._indptr = indptr
+        self._indices = nv[order]
+        self._weights = nw[order]
+
+        # Weighted degree: self-loops count twice (modularity convention).
+        degrees = np.zeros(n, dtype=np.float64)
+        np.add.at(degrees, u, w)
+        np.add.at(degrees, v, w)
+        self._degrees = degrees
+        self._total_weight = float(w.sum())
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        n_nodes: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_w: np.ndarray | None = None,
+    ) -> "Graph":
+        """Build a graph from parallel edge arrays (fast path)."""
+        if edge_w is None:
+            edge_w = np.ones(len(edge_u), dtype=np.float64)
+        return cls(n_nodes, zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()))
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Convert a ``networkx`` graph, relabelling nodes to ``0..n-1``.
+
+        Node order follows ``nx_graph.nodes()``; edge ``weight`` attributes
+        are honoured with default 1.0.
+        """
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [
+            (index[a], index[b], float(data.get("weight", 1.0)))
+            for a, b, data in nx_graph.edges(data=True)
+        ]
+        return cls(len(nodes), edges)
+
+    def to_networkx(self):
+        """Convert to an undirected weighted :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        for u, v, w in self.edges():
+            g.add_edge(int(u), int(v), weight=float(w))
+        return g
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct edges (self-loops count once)."""
+        return len(self._edge_u)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of edge weights ``m`` (self-loops count once)."""
+        return self._total_weight
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Weighted degrees of all nodes (read-only view)."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def degree(self, node: int) -> float:
+        """Weighted degree of ``node`` (self-loops count twice)."""
+        return float(self._degrees[node])
+
+    @property
+    def density(self) -> float:
+        """Unweighted edge density ``2|E| / (n (n-1))``, ignoring loops."""
+        if self._n < 2:
+            return 0.0
+        simple_edges = int(np.sum(self._edge_u != self._edge_v))
+        return 2.0 * simple_edges / (self._n * (self._n - 1))
+
+    # ------------------------------------------------------------------
+    # Iteration / queries
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield canonical ``(u, v, weight)`` triples with ``u <= v``."""
+        for u, v, w in zip(self._edge_u, self._edge_v, self._edge_w):
+            yield int(u), int(v), float(w)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return read-only canonical edge arrays ``(u, v, w)``."""
+        arrays = []
+        for arr in (self._edge_u, self._edge_v, self._edge_w):
+            view = arr.view()
+            view.flags.writeable = False
+            arrays.append(view)
+        return tuple(arrays)  # type: ignore[return-value]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour indices of ``node`` (includes ``node`` for self-loops)."""
+        if not 0 <= node < self._n:
+            raise GraphError(f"node {node} outside 0..{self._n - 1}")
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def neighbor_weights(self, node: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors`."""
+        if not 0 <= node < self._n:
+            raise GraphError(f"node {node} outside 0..{self._n - 1}")
+        return self._weights[self._indptr[node] : self._indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return bool(np.any(self.neighbors(u) == v))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; 0.0 when absent."""
+        neighbors = self.neighbors(u)
+        hits = np.flatnonzero(neighbors == v)
+        if len(hits) == 0:
+            return 0.0
+        return float(self.neighbor_weights(u)[hits[0]])
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the symmetric CSR arrays ``(indptr, indices, weights)``."""
+        arrays = []
+        for arr in (self._indptr, self._indices, self._weights):
+            view = arr.view()
+            view.flags.writeable = False
+            arrays.append(view)
+        return tuple(arrays)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Matrices
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense symmetric adjacency matrix ``A`` (self-loop on diagonal)."""
+        a = np.zeros((self._n, self._n), dtype=np.float64)
+        u, v, w = self._edge_u, self._edge_v, self._edge_w
+        a[u, v] += w
+        off = u != v
+        a[v[off], u[off]] += w[off]
+        return a
+
+    def sparse_adjacency(self):
+        """Symmetric :class:`scipy.sparse.csr_matrix` adjacency."""
+        from scipy import sparse
+
+        return sparse.csr_matrix(
+            (self._weights, self._indices, self._indptr),
+            shape=(self._n, self._n),
+        )
+
+    def modularity_matrix(self) -> np.ndarray:
+        """Dense modularity matrix ``B = A - d d^T / (2m)`` (paper Eq. 1).
+
+        Uses Newman's multigraph convention ``A_ii = 2w`` for self-loops
+        (a self-loop contributes twice to the diagonal, exactly as it
+        contributes twice to the degree), which makes the modularity of a
+        partition invariant under super-node aggregation.  For an empty
+        graph (``m == 0``) the null-model term vanishes and the doubled
+        adjacency diagonal is returned.
+        """
+        a = self.adjacency_matrix()
+        loops = self._edge_u[self._edge_u == self._edge_v]
+        if len(loops):
+            loop_w = self._edge_w[self._edge_u == self._edge_v]
+            a[loops, loops] += loop_w
+        two_m = 2.0 * self._total_weight
+        if two_m == 0:
+            return a
+        d = self._degrees
+        return a - np.outer(d, d) / two_m
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[np.ndarray]:
+        """Connected components as arrays of node ids (BFS, iterative)."""
+        seen = np.zeros(self._n, dtype=bool)
+        components: list[np.ndarray] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            members = [start]
+            while stack:
+                node = stack.pop()
+                for nb in self.neighbors(node):
+                    nb = int(nb)
+                    if not seen[nb]:
+                        seen[nb] = True
+                        stack.append(nb)
+                        members.append(nb)
+            components.append(np.asarray(sorted(members), dtype=np.int64))
+        return components
+
+    def subgraph(self, nodes: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (with nodes relabelled ``0..len(nodes)-1`` in the
+        given order) and the array mapping new ids back to original ids.
+        """
+        nodes_arr = np.asarray(list(nodes), dtype=np.int64)
+        if len(np.unique(nodes_arr)) != len(nodes_arr):
+            raise GraphError("subgraph nodes must be unique")
+        index = {int(old): new for new, old in enumerate(nodes_arr)}
+        edges = [
+            (index[u], index[v], w)
+            for u, v, w in self.edges()
+            if u in index and v in index
+        ]
+        return Graph(len(nodes_arr), edges), nodes_arr
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Graph(n_nodes={self._n}, n_edges={self.n_edges}, "
+            f"total_weight={self._total_weight:g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._edge_u, other._edge_u)
+            and np.array_equal(self._edge_v, other._edge_v)
+            and np.allclose(self._edge_w, other._edge_w)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is enough
+        return id(self)

@@ -1,0 +1,104 @@
+"""Position grids and discretised Laplacians.
+
+The QHD wavefunction of each QUBO variable lives on the unit interval with
+Dirichlet (hard-wall) boundaries, discretised on ``n_points`` *interior*
+points.  The resulting second-difference Laplacian is a tridiagonal matrix
+whose eigensystem is known analytically (discrete sine basis); the kinetic
+propagator in :mod:`repro.hamiltonian.propagator` is built directly from
+that eigensystem, so time evolution reduces to small dense matmuls —
+exactly the "matrix multiplication operations only" property the paper
+highlights (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class PositionGrid:
+    """Uniform interior grid on ``[lower, upper]`` with Dirichlet walls.
+
+    Grid points are ``x_j = lower + (j + 1) h`` for ``j = 0..n_points-1``
+    with spacing ``h = (upper - lower) / (n_points + 1)``; the boundary
+    points (where the wavefunction vanishes) are not stored.
+
+    Examples
+    --------
+    >>> grid = PositionGrid(3)
+    >>> grid.points.tolist()
+    [0.25, 0.5, 0.75]
+    """
+
+    n_points: int
+    lower: float = 0.0
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_integer(self.n_points, "n_points", minimum=2)
+        if not self.upper > self.lower:
+            raise SimulationError(
+                f"upper ({self.upper}) must exceed lower ({self.lower})"
+            )
+
+    @property
+    def spacing(self) -> float:
+        """Grid spacing ``h``."""
+        return (self.upper - self.lower) / (self.n_points + 1)
+
+    @property
+    def points(self) -> np.ndarray:
+        """Interior grid points, shape ``(n_points,)``."""
+        j = np.arange(1, self.n_points + 1, dtype=np.float64)
+        return self.lower + j * self.spacing
+
+
+def dirichlet_laplacian(n_points: int, spacing: float) -> np.ndarray:
+    """Dense second-difference Laplacian with Dirichlet boundaries.
+
+    ``(L psi)_j = (psi_{j+1} - 2 psi_j + psi_{j-1}) / h^2`` with
+    ``psi_{-1} = psi_{n} = 0``.  Negative semidefinite.
+    """
+    n = check_integer(n_points, "n_points", minimum=2)
+    h = check_positive(spacing, "spacing")
+    lap = np.zeros((n, n), dtype=np.float64)
+    inv_h2 = 1.0 / (h * h)
+    idx = np.arange(n)
+    lap[idx, idx] = -2.0 * inv_h2
+    lap[idx[:-1], idx[:-1] + 1] = inv_h2
+    lap[idx[:-1] + 1, idx[:-1]] = inv_h2
+    return lap
+
+
+def laplacian_eigensystem(
+    n_points: int, spacing: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Analytic eigensystem of the *kinetic* operator ``K = -1/2 L``.
+
+    Returns
+    -------
+    (energies, modes):
+        ``energies[k] = (2 / h^2) sin^2(pi (k+1) / (2 (n+1)))`` are the
+        kinetic eigenvalues (all non-negative) and ``modes`` is the
+        orthonormal discrete-sine-basis matrix whose column ``k`` is the
+        eigenvector ``sqrt(2/(n+1)) sin(pi (k+1) (j+1) / (n+1))``.
+
+    Notes
+    -----
+    ``modes`` is symmetric and orthogonal, so applying the kinetic
+    propagator is ``modes @ diag(phase) @ modes`` — two dense matmuls.
+    """
+    n = check_integer(n_points, "n_points", minimum=2)
+    h = check_positive(spacing, "spacing")
+    k = np.arange(1, n + 1, dtype=np.float64)
+    energies = (2.0 / (h * h)) * np.sin(np.pi * k / (2.0 * (n + 1))) ** 2
+    j = np.arange(1, n + 1, dtype=np.float64)
+    modes = np.sqrt(2.0 / (n + 1)) * np.sin(
+        np.pi * np.outer(j, k) / (n + 1)
+    )
+    return energies, modes

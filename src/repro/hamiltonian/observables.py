@@ -1,0 +1,73 @@
+"""Observables of gridded wavefunctions: norms, expectations, sampling.
+
+All functions treat the *last* axis as the grid axis and broadcast over any
+leading batch dimensions (samples x variables in the QHD solver).  The
+discrete inner product carries the grid-spacing weight ``h`` so that norms
+approximate the continuum ``L^2`` norm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def norms(psi: np.ndarray, spacing: float) -> np.ndarray:
+    """L2 norms over the grid axis, shape = batch shape of ``psi``."""
+    return np.sqrt(np.sum(np.abs(psi) ** 2, axis=-1) * spacing)
+
+
+def normalize(psi: np.ndarray, spacing: float) -> np.ndarray:
+    """Return ``psi`` rescaled to unit L2 norm along the grid axis.
+
+    Raises
+    ------
+    SimulationError
+        If any wavefunction in the batch has (numerically) zero norm or
+        non-finite amplitudes — both symptoms of an unstable time step.
+    """
+    if not np.all(np.isfinite(psi.view(np.float64))):
+        raise SimulationError("wavefunction contains non-finite amplitudes")
+    n = norms(psi, spacing)
+    if np.any(n < 1e-12):
+        raise SimulationError("wavefunction norm collapsed to zero")
+    return psi / n[..., None]
+
+
+def probability_densities(psi: np.ndarray, spacing: float) -> np.ndarray:
+    """Per-grid-point probabilities summing to 1 along the grid axis."""
+    prob = np.abs(psi) ** 2
+    total = prob.sum(axis=-1, keepdims=True)
+    if np.any(total <= 0):
+        raise SimulationError("cannot normalise zero probability mass")
+    return prob / total
+
+
+def position_expectations(
+    psi: np.ndarray, points: np.ndarray, spacing: float
+) -> np.ndarray:
+    """Expectation ``<x>`` along the grid axis for each batch entry."""
+    prob = probability_densities(psi, spacing)
+    return prob @ np.asarray(points, dtype=np.float64)
+
+
+def sample_positions(
+    psi: np.ndarray,
+    points: np.ndarray,
+    spacing: float,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw one position measurement per batch entry from ``|psi|^2``.
+
+    Uses inverse-CDF sampling vectorised across the whole batch; returns an
+    array of positions with the batch shape of ``psi``.
+    """
+    prob = probability_densities(psi, spacing)
+    rng = ensure_rng(seed)
+    cdf = np.cumsum(prob, axis=-1)
+    draws = rng.random(size=prob.shape[:-1] + (1,))
+    indices = np.sum(cdf < draws, axis=-1)
+    indices = np.clip(indices, 0, prob.shape[-1] - 1)
+    return np.asarray(points, dtype=np.float64)[indices]

@@ -1,0 +1,90 @@
+"""Periodic-boundary (pseudospectral / FFT) kinetic propagator.
+
+The paper's implementation notes (§IV-A) mention computing the Laplacian
+"using parallel finite difference schemes"; the other standard
+discretisation is pseudospectral with periodic boundaries, where the
+kinetic factor is diagonal in Fourier space and applied with a pair of
+FFTs.  This module provides that backend with the same interface as
+:class:`repro.hamiltonian.propagator.KineticPropagator`, selectable in
+:class:`repro.qhd.QhdSolver` via ``boundary="periodic"``.
+
+Trade-offs: FFTs cost O(N log N) instead of the sine-basis matmuls'
+O(N^2) per application, but periodic wrap-around connects ``x = 0`` to
+``x = 1`` — for QUBO relaxations (monotone potentials per variable) the
+hard Dirichlet walls are usually the better physical choice, which is why
+they remain the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.validation import check_integer, check_positive
+
+
+class PeriodicGrid:
+    """Uniform periodic grid on ``[0, 1)`` with ``n_points`` samples."""
+
+    def __init__(self, n_points: int) -> None:
+        self.n_points = check_integer(n_points, "n_points", minimum=2)
+
+    @property
+    def spacing(self) -> float:
+        """Grid spacing ``h = 1 / n_points``."""
+        return 1.0 / self.n_points
+
+    @property
+    def points(self) -> np.ndarray:
+        """Sample positions ``j * h`` for ``j = 0..n_points-1``."""
+        return np.arange(self.n_points, dtype=np.float64) * self.spacing
+
+
+class PeriodicKineticPropagator:
+    """Exact kinetic propagator under periodic boundaries (FFT based).
+
+    Uses the exact spectrum of the periodic second-difference Laplacian,
+    ``lambda_k = (2 / h^2) sin^2(pi k / N)`` for the kinetic operator
+    ``K = -1/2 L`` — the same discretisation order as the Dirichlet
+    backend, so the two propagators agree wherever the wavefunction stays
+    away from the boundary.
+
+    Examples
+    --------
+    >>> prop = PeriodicKineticPropagator(16, 1.0 / 16)
+    >>> import numpy as np
+    >>> psi = np.ones(16, dtype=complex) / 4.0
+    >>> out = prop.apply(psi, dt=0.1, kinetic_scale=1.0)
+    >>> bool(np.allclose(out, psi))  # uniform state is the ground state
+    True
+    """
+
+    def __init__(self, n_points: int, spacing: float) -> None:
+        check_integer(n_points, "n_points", minimum=2)
+        check_positive(spacing, "spacing")
+        self.n_points = int(n_points)
+        self.spacing = float(spacing)
+        k = np.fft.fftfreq(self.n_points) * self.n_points
+        self._energies = (
+            2.0 / (self.spacing**2)
+        ) * np.sin(np.pi * k / self.n_points) ** 2
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Kinetic eigenvalues in FFT ordering (read-only)."""
+        view = self._energies.view()
+        view.flags.writeable = False
+        return view
+
+    def apply(
+        self, psi: np.ndarray, dt: float, kinetic_scale: float
+    ) -> np.ndarray:
+        """Apply ``exp(-i * kinetic_scale * K * dt)`` along the last axis."""
+        if psi.shape[-1] != self.n_points:
+            raise SimulationError(
+                f"last axis of psi must be {self.n_points}, "
+                f"got {psi.shape[-1]}"
+            )
+        phase = np.exp(-1j * kinetic_scale * dt * self._energies)
+        spectrum = np.fft.fft(psi, axis=-1)
+        return np.fft.ifft(spectrum * phase, axis=-1)

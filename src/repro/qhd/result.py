@@ -1,0 +1,67 @@
+"""Result containers for QHD solves beyond the common SolveResult."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QhdTrace:
+    """Per-step diagnostics of one QHD evolution.
+
+    Records the schedule coefficients and the best relaxed mean-field
+    energy across samples at every step — enough to see the three QHD
+    phases (kinetic / global search / descent) in a plot or test.
+    """
+
+    times: np.ndarray
+    kinetic_coefficients: np.ndarray
+    potential_coefficients: np.ndarray
+    best_relaxed_energy: np.ndarray
+    mean_relaxed_energy: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+@dataclass(frozen=True)
+class QhdDetails:
+    """Full outcome of a QHD solve, wrapping the measurement ensemble.
+
+    Attributes
+    ----------
+    samples:
+        Refined binary candidates, shape ``(n_candidates, n_variables)``.
+    energies:
+        Energy of each candidate under the solved model.
+    mean_positions:
+        Final per-sample expectation positions, shape
+        ``(n_samples, n_variables)`` — the relaxed solution before
+        measurement.
+    trace:
+        Optional per-step diagnostics (``None`` unless requested).
+    """
+
+    samples: np.ndarray
+    energies: np.ndarray
+    mean_positions: np.ndarray
+    trace: QhdTrace | None = None
+    refinement_sweeps: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def best_index(self) -> int:
+        """Index of the lowest-energy candidate."""
+        return int(np.argmin(self.energies))
+
+    @property
+    def best_sample(self) -> np.ndarray:
+        """The lowest-energy candidate bitstring."""
+        return self.samples[self.best_index]
+
+    @property
+    def best_energy(self) -> float:
+        """The lowest candidate energy."""
+        return float(self.energies[self.best_index])

@@ -1,0 +1,52 @@
+"""QUBO substrate: model container, community-detection builders, decoding."""
+
+from repro.qubo.model import QuboModel
+from repro.qubo.sparse import SparseQuboModel
+from repro.qubo.builders import (
+    CommunityQubo,
+    VariableMap,
+    build_community_qubo,
+    default_penalties,
+)
+from repro.qubo.decode import (
+    assignment_violations,
+    decode_assignment,
+    labels_to_one_hot,
+)
+from repro.qubo.random_instances import (
+    PortfolioGenerator,
+    PortfolioSpec,
+    QuboInstance,
+    random_qubo,
+)
+from repro.qubo.analysis import qubo_density, qubo_statistics
+from repro.qubo.transformations import (
+    IsingModel,
+    bits_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+
+__all__ = [
+    "QuboModel",
+    "SparseQuboModel",
+    "CommunityQubo",
+    "VariableMap",
+    "build_community_qubo",
+    "default_penalties",
+    "assignment_violations",
+    "decode_assignment",
+    "labels_to_one_hot",
+    "PortfolioGenerator",
+    "PortfolioSpec",
+    "QuboInstance",
+    "random_qubo",
+    "qubo_density",
+    "qubo_statistics",
+    "IsingModel",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "spins_to_bits",
+    "bits_to_spins",
+]

@@ -1,0 +1,251 @@
+"""QUBO construction for community detection (paper §III-B, Algorithm 1).
+
+Binary variables ``x[i, c] = 1`` iff node ``i`` is assigned to community
+``c``; ``idx(i, c) = i * k + c`` flattens them.  The minimisation objective
+assembled here is the paper's Eq. 5:
+
+    Q_total = -Q_M + Q_A + Q_S  (+ optional cut reward, Algorithm 1 line 16)
+
+with
+
+* ``Q_M`` — the modularity reward, Eq. 2: ``(1/2m) Σ_ij B_ij Σ_c x_ic x_jc``
+  where ``B = A - d d^T / 2m`` is the modularity matrix (the ``1/2m``
+  prefactor is already folded into ``B``'s usage in Eq. 1, so we place
+  ``B_ij / (2m)`` on the couplings; maximising Q_M equals maximising
+  modularity exactly),
+* ``Q_A`` — the one-hot assignment penalty, Eq. 3,
+* ``Q_S`` — the community-size balance penalty, Eq. 4,
+* the optional cut reward of Algorithm 1 (weight ``w3``) that adds
+  ``-2 w3`` on ``(idx(u,c), idx(v,c))`` for every edge ``(u, v)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import QuboError
+from repro.graphs.graph import Graph
+from repro.qubo.model import QuboModel
+from repro.utils.validation import check_integer, check_positive
+
+
+class VariableMap:
+    """Bijection between (node, community) pairs and flat QUBO indices.
+
+    Implements Algorithm 1's ``idx(i, c) = i * k + c``.
+
+    Examples
+    --------
+    >>> vm = VariableMap(n_nodes=3, n_communities=2)
+    >>> vm.index(2, 1)
+    5
+    >>> vm.pair(5)
+    (2, 1)
+    """
+
+    def __init__(self, n_nodes: int, n_communities: int) -> None:
+        self.n_nodes = check_integer(n_nodes, "n_nodes", minimum=1)
+        self.n_communities = check_integer(
+            n_communities, "n_communities", minimum=1
+        )
+
+    @property
+    def n_variables(self) -> int:
+        """Total flat variable count ``n * k``."""
+        return self.n_nodes * self.n_communities
+
+    def index(self, node: int, community: int) -> int:
+        """Flat index of variable ``x[node, community]``."""
+        if not 0 <= node < self.n_nodes:
+            raise QuboError(f"node {node} outside 0..{self.n_nodes - 1}")
+        if not 0 <= community < self.n_communities:
+            raise QuboError(
+                f"community {community} outside 0..{self.n_communities - 1}"
+            )
+        return node * self.n_communities + community
+
+    def pair(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`index`."""
+        if not 0 <= index < self.n_variables:
+            raise QuboError(
+                f"index {index} outside 0..{self.n_variables - 1}"
+            )
+        return divmod(index, self.n_communities)
+
+    def reshape(self, x: np.ndarray) -> np.ndarray:
+        """View a flat assignment vector as an ``(n_nodes, k)`` matrix."""
+        arr = np.asarray(x)
+        if arr.shape != (self.n_variables,):
+            raise QuboError(
+                f"x must have shape ({self.n_variables},), got {arr.shape}"
+            )
+        return arr.reshape(self.n_nodes, self.n_communities)
+
+
+def default_penalties(graph: Graph, n_communities: int) -> tuple[float, float]:
+    """Heuristic penalty weights ``(lambda_A, lambda_S)`` for Eq. 3/4.
+
+    The assignment penalty must dominate any modularity gain a single
+    violated node could harvest; per-node modularity contributions are
+    bounded by ``max_degree / 2m``, so a small multiple of that bound is
+    sufficient without drowning the objective.  The balance penalty is kept
+    an order of magnitude softer — it expresses a preference, not a hard
+    constraint (paper §III-B.1).
+    """
+    two_m = 2.0 * graph.total_weight
+    if two_m <= 0:
+        return 1.0, 0.1
+    max_degree = float(np.max(graph.degrees)) if graph.n_nodes else 1.0
+    lambda_a = 2.0 * max(max_degree / two_m, 1.0 / graph.n_nodes)
+    lambda_s = lambda_a / (10.0 * max(1, n_communities))
+    return lambda_a, lambda_s
+
+
+@dataclass(frozen=True)
+class CommunityQubo:
+    """A community-detection QUBO plus the metadata needed to decode it."""
+
+    model: QuboModel
+    variable_map: VariableMap
+    graph: Graph
+    n_communities: int
+    lambda_assignment: float
+    lambda_balance: float
+    modularity_weight: float
+    cut_weight: float
+
+    def modularity_of(self, x: np.ndarray) -> float:
+        """Exact modularity of a (valid one-hot) flat assignment ``x``."""
+        from repro.community.modularity import modularity
+        from repro.qubo.decode import decode_assignment
+
+        labels = decode_assignment(
+            x, self.variable_map, graph=self.graph
+        )
+        return modularity(self.graph, labels)
+
+
+def build_community_qubo(
+    graph: Graph,
+    n_communities: int,
+    lambda_assignment: float | None = None,
+    lambda_balance: float | None = None,
+    modularity_weight: float = 1.0,
+    cut_weight: float = 0.0,
+) -> CommunityQubo:
+    """Assemble the paper's community-detection QUBO (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        Input network ``G(V, E)``.
+    n_communities:
+        Maximum number of communities ``k``.
+    lambda_assignment:
+        Penalty weight of the exactly-one-community constraint (Eq. 3).
+        ``None`` selects :func:`default_penalties`.
+    lambda_balance:
+        Penalty weight of the community-size balance term (Eq. 4).
+        ``None`` selects :func:`default_penalties`.
+    modularity_weight:
+        Weight ``w1`` on the modularity reward (Eq. 2).
+    cut_weight:
+        Weight ``w3`` of the optional edge-cut reward (Algorithm 1 line 16);
+        0 disables the term, matching the Eq. 5 objective.
+
+    Returns
+    -------
+    :class:`CommunityQubo` whose :class:`QuboModel` is in *minimisation*
+    form; its optimum corresponds to the maximum of Eq. 5's objective.
+
+    Notes
+    -----
+    With a valid one-hot assignment ``x`` encoding labels ``c``, the model
+    energy satisfies ``E(x) = -w1 * modularity(G, c) + Q_S(x)``; the
+    assignment penalty contributes exactly zero.  This identity is checked
+    by the test suite.
+    """
+    n = graph.n_nodes
+    if n == 0:
+        raise QuboError("cannot build a QUBO for an empty graph")
+    k = check_integer(n_communities, "n_communities", minimum=1)
+    check_positive(modularity_weight, "modularity_weight", allow_zero=True)
+    check_positive(cut_weight, "cut_weight", allow_zero=True)
+    if lambda_assignment is None or lambda_balance is None:
+        auto_a, auto_s = default_penalties(graph, k)
+        if lambda_assignment is None:
+            lambda_assignment = auto_a
+        if lambda_balance is None:
+            lambda_balance = auto_s
+    lambda_assignment = check_positive(
+        lambda_assignment, "lambda_assignment", allow_zero=True
+    )
+    lambda_balance = check_positive(
+        lambda_balance, "lambda_balance", allow_zero=True
+    )
+
+    vmap = VariableMap(n, k)
+    nk = vmap.n_variables
+    quadratic = np.zeros((nk, nk), dtype=np.float64)
+    linear = np.zeros(nk, dtype=np.float64)
+    offset = 0.0
+
+    # --- Modularity term (Eq. 2), minimisation sign: -w1 * Q_M ----------
+    two_m = 2.0 * graph.total_weight
+    if two_m > 0 and modularity_weight > 0:
+        b_matrix = graph.modularity_matrix() / two_m
+        scaled = -modularity_weight * b_matrix
+        # Block-diagonal placement over communities: variable (i, c) couples
+        # to (j, c) only.  i == j lands on the QUBO diagonal (linear).
+        for c in range(k):
+            idx = np.arange(c, nk, k)
+            quadratic[np.ix_(idx, idx)] += scaled
+
+    # --- Assignment constraint (Eq. 3): lambda_A * (1 - sum_c x_ic)^2 ---
+    # Expansion with x^2 = x:
+    #   1 - sum_c x_ic + 2 sum_{c<c'} x_ic x_ic'
+    # Adding lambda_A to *both* ordered off-diagonal pairs is equivalent to
+    # 2*lambda_A on unordered pairs after symmetrisation.
+    if lambda_assignment > 0:
+        for i in range(n):
+            idx = np.arange(i * k, (i + 1) * k)
+            linear[idx] += -lambda_assignment
+            block = np.ix_(idx, idx)
+            quadratic[block] += lambda_assignment
+            quadratic[idx, idx] -= lambda_assignment
+            offset += lambda_assignment
+
+    # --- Balance constraint (Eq. 4): lambda_S * (sum_i x_ic - n/k)^2 ----
+    if lambda_balance > 0:
+        target = n / k
+        for c in range(k):
+            idx = np.arange(c, nk, k)
+            linear[idx] += lambda_balance * (1.0 - 2.0 * target)
+            block = np.ix_(idx, idx)
+            quadratic[block] += lambda_balance
+            quadratic[idx, idx] -= lambda_balance
+            offset += lambda_balance * target * target
+
+    # --- Optional cut reward (Algorithm 1, line 16) ----------------------
+    if cut_weight > 0:
+        edge_u, edge_v, edge_w = graph.edge_arrays()
+        for u, v, w in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
+            if u == v:
+                continue
+            for c in range(k):
+                iu, iv = vmap.index(u, c), vmap.index(v, c)
+                quadratic[min(iu, iv), max(iu, iv)] += -2.0 * cut_weight * w
+
+    model = QuboModel(quadratic, linear, offset)
+    return CommunityQubo(
+        model=model,
+        variable_map=vmap,
+        graph=graph,
+        n_communities=k,
+        lambda_assignment=float(lambda_assignment),
+        lambda_balance=float(lambda_balance),
+        modularity_weight=float(modularity_weight),
+        cut_weight=float(cut_weight),
+    )

@@ -1,0 +1,121 @@
+"""Decoding QUBO bitstrings into community assignments.
+
+A solver returns a flat binary vector over the ``(node, community)``
+variables of Algorithm 1.  Penalty-based constraints make invalid rows
+(no community, or several) energetically unfavourable but not impossible,
+so decoding must *repair*: nodes with multiple communities keep the one
+most supported by their neighbourhood, and unassigned nodes adopt their
+neighbourhood's plurality community (falling back to the smallest index).
+This mirrors the classical post-processing step of QHDOPT (paper §IV-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import QuboError
+from repro.graphs.graph import Graph
+from repro.qubo.builders import VariableMap
+
+
+def labels_to_one_hot(labels: np.ndarray, n_communities: int) -> np.ndarray:
+    """Encode community labels as a flat one-hot assignment vector.
+
+    Inverse of :func:`decode_assignment` on valid inputs.
+
+    Examples
+    --------
+    >>> labels_to_one_hot(np.array([1, 0]), 2).tolist()
+    [0.0, 1.0, 1.0, 0.0]
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise QuboError(f"labels must be 1-D, got shape {labels.shape}")
+    if len(labels) and (labels.min() < 0 or labels.max() >= n_communities):
+        raise QuboError(
+            f"labels must lie in 0..{n_communities - 1}, "
+            f"got range [{labels.min()}, {labels.max()}]"
+        )
+    x = np.zeros((len(labels), n_communities), dtype=np.float64)
+    x[np.arange(len(labels)), labels] = 1.0
+    return x.reshape(-1)
+
+
+def assignment_violations(
+    x: np.ndarray, variable_map: VariableMap
+) -> tuple[int, int]:
+    """Count constraint violations in a flat assignment vector.
+
+    Returns
+    -------
+    (unassigned, multi_assigned):
+        Number of nodes with zero selected communities and with more than
+        one selected community, respectively.
+    """
+    matrix = variable_map.reshape(np.asarray(x))
+    row_sums = np.rint(matrix).sum(axis=1)
+    unassigned = int(np.sum(row_sums == 0))
+    multi = int(np.sum(row_sums > 1))
+    return unassigned, multi
+
+
+def decode_assignment(
+    x: np.ndarray,
+    variable_map: VariableMap,
+    graph: Graph | None = None,
+) -> np.ndarray:
+    """Decode (and repair) a flat binary vector into community labels.
+
+    Parameters
+    ----------
+    x:
+        Flat assignment of length ``n_nodes * n_communities``.  Values are
+        rounded to {0, 1}; relaxed vectors are therefore accepted.
+    variable_map:
+        The index mapping used when the QUBO was built.
+    graph:
+        When provided, repairs use neighbourhood information: a node with an
+        ambiguous row joins the community holding the (weighted) plurality
+        among its already-decided neighbours.  Without a graph, ties break
+        to the smallest community index.
+
+    Returns
+    -------
+    Integer labels in ``0..n_communities-1`` for every node.
+    """
+    matrix = variable_map.reshape(np.asarray(x, dtype=np.float64))
+    n, k = matrix.shape
+    rounded = np.rint(matrix)
+    labels = np.full(n, -1, dtype=np.int64)
+
+    # Pass 1: decide every unambiguous node (exactly one chosen community).
+    row_sums = rounded.sum(axis=1)
+    clean = row_sums == 1
+    labels[clean] = np.argmax(rounded[clean], axis=1)
+
+    # Pass 2: repair the rest.
+    ambiguous = np.flatnonzero(~clean)
+    for node in ambiguous:
+        row = matrix[node]
+        chosen = np.flatnonzero(rounded[node] == 1)
+        if graph is not None:
+            votes = np.zeros(k, dtype=np.float64)
+            neighbors = graph.neighbors(int(node))
+            weights = graph.neighbor_weights(int(node))
+            for nb, w in zip(neighbors.tolist(), weights.tolist()):
+                if nb != node and labels[nb] >= 0:
+                    votes[labels[nb]] += w
+            if len(chosen) > 1:
+                votes = votes[chosen]
+                labels[node] = int(chosen[int(np.argmax(votes))])
+                continue
+            if votes.max() > 0:
+                labels[node] = int(np.argmax(votes))
+                continue
+        if len(chosen) > 1:
+            # Highest relaxed amplitude among the chosen communities.
+            labels[node] = int(chosen[int(np.argmax(row[chosen]))])
+        else:
+            # Unassigned: strongest relaxed amplitude, ties to smallest c.
+            labels[node] = int(np.argmax(row))
+    return labels

@@ -1,0 +1,270 @@
+"""QUBO model container.
+
+A Quadratic Unconstrained Binary Optimization problem in minimisation form:
+
+    minimise  E(x) = x^T Q x + b^T x + offset,    x in {0, 1}^n.
+
+The diagonal of ``Q`` is allowed (``x_i^2 == x_i`` makes it effectively
+linear), matching the construction in the paper's Algorithm 1 which writes
+both quadratic couplings and linear terms.  All solvers in
+:mod:`repro.solvers` and :mod:`repro.qhd` consume this class.
+
+Storage is canonicalised at construction into a single symmetric
+zero-diagonal coupling matrix plus an effective linear vector — one ``n x n``
+array per model, which matters for the direct Table I solves where ``n``
+reaches several thousand variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import QuboError
+from repro.utils.validation import check_square_matrix
+
+
+class QuboModel:
+    """Minimisation QUBO ``x^T Q x + b^T x + offset`` over binary ``x``.
+
+    Parameters
+    ----------
+    quadratic:
+        Square ``n x n`` coefficient matrix.  It need not be symmetric;
+        energies depend only on ``Q + Q^T`` off the diagonal.  The diagonal
+        acts linearly and is folded into the linear term internally.
+    linear:
+        Length-``n`` linear coefficients; defaults to zeros.
+    offset:
+        Constant added to every energy (kept so that objective values remain
+        comparable to the original constrained formulation).
+
+    Examples
+    --------
+    >>> q = QuboModel([[0.0, -2.0], [0.0, 0.0]], [1.0, 1.0])
+    >>> q.evaluate([1, 1])
+    0.0
+    >>> q.evaluate([0, 0])
+    0.0
+    >>> q.brute_force_minimum()[1]
+    0.0
+    """
+
+    def __init__(
+        self,
+        quadratic: np.ndarray | Iterable[Iterable[float]],
+        linear: np.ndarray | Iterable[float] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        q = check_square_matrix(quadratic, "quadratic")
+        n = q.shape[0]
+        if linear is None:
+            b = np.zeros(n, dtype=np.float64)
+        else:
+            b = np.asarray(linear, dtype=np.float64)
+            if b.shape != (n,):
+                raise QuboError(
+                    f"linear must have shape ({n},), got {b.shape}"
+                )
+            if not np.all(np.isfinite(b)):
+                raise QuboError("linear must contain only finite values")
+        if not np.isfinite(offset):
+            raise QuboError(f"offset must be finite, got {offset}")
+
+        # Canonical form: symmetric coupling with zero diagonal, plus the
+        # diagonal folded into an effective linear vector.
+        coupling = 0.5 * (q + q.T)
+        diag = np.diag(coupling).copy()
+        np.fill_diagonal(coupling, 0.0)
+        self._coupling = coupling
+        self._effective_linear = b + diag
+        self._offset = float(offset)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of binary variables."""
+        return self._coupling.shape[0]
+
+    @property
+    def coupling(self) -> np.ndarray:
+        """Symmetric zero-diagonal coupling matrix ``S`` (read-only)."""
+        view = self._coupling.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def effective_linear(self) -> np.ndarray:
+        """Linear coefficients with the ``Q`` diagonal folded in."""
+        view = self._effective_linear.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def offset(self) -> float:
+        """Constant energy offset."""
+        return self._offset
+
+    # ------------------------------------------------------------------
+    # Energies
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray | Iterable[float]) -> float:
+        """Energy of one assignment (binary or relaxed in [0, 1])."""
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.n_variables,):
+            raise QuboError(
+                f"x must have shape ({self.n_variables},), got {vec.shape}"
+            )
+        return float(
+            vec @ self._coupling @ vec
+            + self._effective_linear @ vec
+            + self._offset
+        )
+
+    def evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Energies of a batch of assignments, shape ``(batch, n)``."""
+        batch = np.asarray(xs, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[1] != self.n_variables:
+            raise QuboError(
+                f"xs must have shape (batch, {self.n_variables}), "
+                f"got {batch.shape}"
+            )
+        quad = np.einsum("bi,bi->b", batch @ self._coupling, batch)
+        lin = batch @ self._effective_linear
+        return quad + lin + self._offset
+
+    def local_fields(self, x: np.ndarray) -> np.ndarray:
+        """Effective field ``h_i = 2 (S x)_i + c_i`` seen by each variable.
+
+        ``E(x with x_i = 1) - E(x with x_i = 0) == h_i`` when the other
+        coordinates are held fixed; both the QHD mean-field potential and
+        flip deltas derive from this quantity.
+        """
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.n_variables,):
+            raise QuboError(
+                f"x must have shape ({self.n_variables},), got {vec.shape}"
+            )
+        return 2.0 * (self._coupling @ vec) + self._effective_linear
+
+    def local_fields_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`local_fields`, shape ``(batch, n)`` in and out."""
+        batch = np.asarray(xs, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[1] != self.n_variables:
+            raise QuboError(
+                f"xs must have shape (batch, {self.n_variables}), "
+                f"got {batch.shape}"
+            )
+        return 2.0 * (batch @ self._coupling) + self._effective_linear
+
+    def flip_deltas(self, x: np.ndarray) -> np.ndarray:
+        """Energy change of flipping each bit of binary assignment ``x``.
+
+        ``delta[i] = E(x with bit i flipped) - E(x)``; computed for all bits
+        in one matrix-vector product, the workhorse of greedy/local-search
+        refinement.
+        """
+        vec = np.asarray(x, dtype=np.float64)
+        field = self.local_fields(vec)
+        return (1.0 - 2.0 * vec) * field
+
+    def flip_delta(self, x: np.ndarray, index: int) -> float:
+        """Energy change of flipping bit ``index`` only (O(n))."""
+        vec = np.asarray(x, dtype=np.float64)
+        field = (
+            2.0 * float(self._coupling[index] @ vec)
+            + float(self._effective_linear[index])
+        )
+        return (1.0 - 2.0 * vec[index]) * field
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "QuboModel":
+        """A new model with all coefficients multiplied by ``factor``."""
+        if not np.isfinite(factor):
+            raise QuboError(f"factor must be finite, got {factor}")
+        return QuboModel(
+            self._coupling * factor,
+            self._effective_linear * factor,
+            self._offset * factor,
+        )
+
+    def negated(self) -> "QuboModel":
+        """The maximisation counterpart: ``E'(x) = -E(x)``."""
+        return self.scaled(-1.0)
+
+    def with_offset(self, offset: float) -> "QuboModel":
+        """Copy with a replacement offset."""
+        return QuboModel(self._coupling, self._effective_linear, offset)
+
+    def fix_variable(self, index: int, value: int) -> "QuboModel":
+        """Reduced QUBO with variable ``index`` fixed to ``value``.
+
+        Used by branch & bound: fixing ``x_i = v`` moves the couplings of
+        row/column ``i`` into the linear terms of the remaining variables.
+        """
+        if not 0 <= index < self.n_variables:
+            raise QuboError(f"index {index} outside 0..{self.n_variables-1}")
+        if value not in (0, 1):
+            raise QuboError(f"value must be 0 or 1, got {value}")
+        keep = [i for i in range(self.n_variables) if i != index]
+        coupling = self._coupling
+        new_q = coupling[np.ix_(keep, keep)].copy()
+        new_b = self._effective_linear[keep].copy()
+        new_offset = self._offset
+        if value == 1:
+            new_b = new_b + 2.0 * coupling[keep, index]
+            new_offset += float(self._effective_linear[index])
+        return QuboModel(new_q, new_b, new_offset)
+
+    # ------------------------------------------------------------------
+    # Exact reference
+    # ------------------------------------------------------------------
+    def brute_force_minimum(
+        self, max_variables: int = 24
+    ) -> tuple[np.ndarray, float]:
+        """Exhaustive minimum for small models; the test-suite oracle.
+
+        Raises
+        ------
+        QuboError
+            When ``n_variables`` exceeds ``max_variables`` (2^n blow-up).
+        """
+        n = self.n_variables
+        if n > max_variables:
+            raise QuboError(
+                f"brute force limited to {max_variables} variables, "
+                f"model has {n}"
+            )
+        if n == 0:
+            return np.zeros(0, dtype=np.int8), self._offset
+        # Enumerate in blocks to bound memory at ~2^20 rows.
+        best_energy = np.inf
+        best_x = np.zeros(n, dtype=np.int8)
+        block_bits = min(n, 20)
+        n_blocks = 1 << (n - block_bits)
+        base_codes = np.arange(1 << block_bits, dtype=np.uint64)
+        bit_cols = np.arange(n, dtype=np.uint64)
+        for block in range(n_blocks):
+            codes = base_codes + (np.uint64(block) << np.uint64(block_bits))
+            bits = (codes[:, None] >> bit_cols[None, :]) & np.uint64(1)
+            xs = bits.astype(np.float64)
+            energies = self.evaluate_batch(xs)
+            idx = int(np.argmin(energies))
+            if energies[idx] < best_energy:
+                best_energy = float(energies[idx])
+                best_x = xs[idx].astype(np.int8)
+        return best_x, best_energy
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"QuboModel(n_variables={self.n_variables}, "
+            f"offset={self._offset:g})"
+        )

@@ -1,0 +1,208 @@
+"""Sparse QUBO models (CSR couplings).
+
+The paper's Figure 3 regime — and its closing discussion of
+"high-performance sparsity computation" — concerns QUBOs whose coupling
+matrices are overwhelmingly zero.  :class:`SparseQuboModel` stores the
+symmetric coupling as ``scipy.sparse.csr_matrix`` and implements the same
+energy/field interface as :class:`repro.qubo.QuboModel`, so the QHD
+solver and the flip-based metaheuristics run on it unchanged (every hot
+operation is a sparse mat-vec).  Exact branch & bound densifies first
+(its column updates are dense by nature); :meth:`to_dense` makes the
+conversion explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import QuboError
+from repro.qubo.model import QuboModel
+
+
+class SparseQuboModel:
+    """Minimisation QUBO with a sparse symmetric coupling matrix.
+
+    Parameters
+    ----------
+    quadratic:
+        Square sparse (or dense) matrix; symmetrised internally, diagonal
+        folded into the linear term — same canonicalisation as
+        :class:`QuboModel`.
+    linear:
+        Length-``n`` linear coefficients; defaults to zeros.
+    offset:
+        Constant energy offset.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from scipy import sparse
+    >>> q = sparse.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+    >>> model = SparseQuboModel(q, [-1.0, -1.0])
+    >>> model.evaluate([1, 0])
+    -1.0
+    """
+
+    def __init__(
+        self,
+        quadratic,
+        linear: np.ndarray | Iterable[float] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        matrix = sparse.csr_matrix(quadratic, dtype=np.float64)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise QuboError(
+                f"quadratic must be square, got shape {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        if linear is None:
+            b = np.zeros(n, dtype=np.float64)
+        else:
+            b = np.asarray(linear, dtype=np.float64)
+            if b.shape != (n,):
+                raise QuboError(
+                    f"linear must have shape ({n},), got {b.shape}"
+                )
+        if not np.all(np.isfinite(b)):
+            raise QuboError("linear must contain only finite values")
+        if not np.all(np.isfinite(matrix.data)):
+            raise QuboError("quadratic must contain only finite values")
+        if not np.isfinite(offset):
+            raise QuboError(f"offset must be finite, got {offset}")
+
+        coupling = (matrix + matrix.T) * 0.5
+        diag = coupling.diagonal().copy()
+        coupling = coupling - sparse.diags(diag)
+        coupling.eliminate_zeros()
+        self._coupling = coupling.tocsr()
+        self._effective_linear = b + diag
+        self._offset = float(offset)
+
+    # ------------------------------------------------------------------
+    # Accessors (mirroring QuboModel)
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of binary variables."""
+        return self._coupling.shape[0]
+
+    @property
+    def coupling(self) -> sparse.csr_matrix:
+        """Symmetric zero-diagonal sparse coupling matrix."""
+        return self._coupling
+
+    @property
+    def effective_linear(self) -> np.ndarray:
+        """Linear coefficients with the diagonal folded in (read-only)."""
+        view = self._effective_linear.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def offset(self) -> float:
+        """Constant energy offset."""
+        return self._offset
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzero couplings (symmetric counting)."""
+        return int(self._coupling.nnz)
+
+    # ------------------------------------------------------------------
+    # Energies (same contracts as QuboModel)
+    # ------------------------------------------------------------------
+    def evaluate(self, x) -> float:
+        """Energy of one assignment."""
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.n_variables,):
+            raise QuboError(
+                f"x must have shape ({self.n_variables},), got {vec.shape}"
+            )
+        return float(
+            vec @ (self._coupling @ vec)
+            + self._effective_linear @ vec
+            + self._offset
+        )
+
+    def evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Energies of a batch of assignments, shape ``(batch, n)``."""
+        batch = np.asarray(xs, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[1] != self.n_variables:
+            raise QuboError(
+                f"xs must have shape (batch, {self.n_variables}), "
+                f"got {batch.shape}"
+            )
+        sx = self._coupling.dot(batch.T).T  # (batch, n)
+        quad = np.einsum("bi,bi->b", batch, sx)
+        return quad + batch @ self._effective_linear + self._offset
+
+    def local_fields(self, x) -> np.ndarray:
+        """Effective field ``h = 2 S x + c`` (see QuboModel)."""
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.n_variables,):
+            raise QuboError(
+                f"x must have shape ({self.n_variables},), got {vec.shape}"
+            )
+        return 2.0 * self._coupling.dot(vec) + self._effective_linear
+
+    def local_fields_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`local_fields`."""
+        batch = np.asarray(xs, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[1] != self.n_variables:
+            raise QuboError(
+                f"xs must have shape (batch, {self.n_variables}), "
+                f"got {batch.shape}"
+            )
+        return (
+            2.0 * self._coupling.dot(batch.T).T + self._effective_linear
+        )
+
+    def flip_deltas(self, x) -> np.ndarray:
+        """Energy change of flipping each bit."""
+        vec = np.asarray(x, dtype=np.float64)
+        return (1.0 - 2.0 * vec) * self.local_fields(vec)
+
+    def flip_delta(self, x, index: int) -> float:
+        """Energy change of flipping bit ``index`` (sparse row access)."""
+        vec = np.asarray(x, dtype=np.float64)
+        row = self._coupling.getrow(index)
+        field = 2.0 * float(row.dot(vec)[0]) + float(
+            self._effective_linear[index]
+        )
+        return (1.0 - 2.0 * vec[index]) * field
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> QuboModel:
+        """Materialise as a dense :class:`QuboModel` (exact energies)."""
+        return QuboModel(
+            self._coupling.toarray(),
+            self._effective_linear,
+            self._offset,
+        )
+
+    @classmethod
+    def from_dense(cls, model: QuboModel) -> "SparseQuboModel":
+        """Build from a dense model (drops explicit zeros)."""
+        return cls(
+            sparse.csr_matrix(np.asarray(model.coupling)),
+            np.asarray(model.effective_linear),
+            model.offset,
+        )
+
+    def density(self) -> float:
+        """Fraction of nonzero off-diagonal couplings."""
+        n = self.n_variables
+        if n < 2:
+            return 0.0
+        return self.nnz / (n * (n - 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseQuboModel(n_variables={self.n_variables}, "
+            f"nnz={self.nnz}, offset={self._offset:g})"
+        )

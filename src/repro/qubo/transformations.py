@@ -1,0 +1,112 @@
+"""QUBO <-> Ising conversions and variable-level transformations.
+
+Quantum-annealing-adjacent tooling (the paper's ref [34] solves CD on an
+annealer) works in Ising variables ``s in {-1, +1}^n``:
+
+    H(s) = s^T J s + h^T s + const,
+
+related to QUBO by ``x = (1 + s) / 2``.  These helpers convert models
+between the two conventions exactly, preserving energies assignment by
+assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import QuboError
+from repro.qubo.model import QuboModel
+from repro.utils.validation import check_square_matrix
+
+
+@dataclass(frozen=True)
+class IsingModel:
+    """Ising Hamiltonian ``s^T J s + h^T s + offset`` on ``{-1, +1}^n``.
+
+    ``J`` is stored symmetric with zero diagonal; ``h`` is the field.
+    """
+
+    couplings: np.ndarray
+    fields: np.ndarray
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        j = check_square_matrix(self.couplings, "couplings")
+        j = 0.5 * (j + j.T)
+        np.fill_diagonal(j, 0.0)
+        h = np.asarray(self.fields, dtype=np.float64)
+        if h.shape != (j.shape[0],):
+            raise QuboError(
+                f"fields must have shape ({j.shape[0]},), got {h.shape}"
+            )
+        object.__setattr__(self, "couplings", j)
+        object.__setattr__(self, "fields", h)
+
+    @property
+    def n_spins(self) -> int:
+        """Number of spin variables."""
+        return self.couplings.shape[0]
+
+    def evaluate(self, spins: np.ndarray) -> float:
+        """Energy of one spin assignment in ``{-1, +1}^n``."""
+        s = np.asarray(spins, dtype=np.float64)
+        if s.shape != (self.n_spins,):
+            raise QuboError(
+                f"spins must have shape ({self.n_spins},), got {s.shape}"
+            )
+        if not np.all(np.isin(s, (-1.0, 1.0))):
+            raise QuboError("spins must be -1/+1 valued")
+        return float(
+            s @ self.couplings @ s + self.fields @ s + self.offset
+        )
+
+
+def qubo_to_ising(model: QuboModel) -> IsingModel:
+    """Exact change of variables ``x = (1 + s) / 2``.
+
+    Energies match assignment by assignment:
+    ``model.evaluate(x) == ising.evaluate(2 x - 1)``.
+    """
+    coupling = np.asarray(model.coupling)
+    linear = np.asarray(model.effective_linear)
+    # Derivation: x_i x_j = (1 + s_i)(1 + s_j) / 4 and x_i = (1 + s_i)/2.
+    # x^T S x   -> (1/4)[ sum S + s^T S s + 2 * rowsum(S) . s ]
+    # c^T x     -> (1/2)[ sum c + c . s ]
+    j = coupling / 4.0
+    h = linear / 2.0 + coupling.sum(axis=1) / 2.0
+    offset = (
+        model.offset
+        + float(coupling.sum()) / 4.0
+        + float(linear.sum()) / 2.0
+    )
+    return IsingModel(couplings=j, fields=h, offset=offset)
+
+
+def ising_to_qubo(ising: IsingModel) -> QuboModel:
+    """Exact inverse of :func:`qubo_to_ising` (``s = 2 x - 1``).
+
+    ``ising.evaluate(s) == qubo.evaluate((1 + s) / 2)``.
+    """
+    j = np.asarray(ising.couplings)
+    h = np.asarray(ising.fields)
+    # s^T J s with s = 2x - 1:
+    #   4 x^T J x - 4 * rowsum(J) . x + sum J
+    # h . s = 2 h . x - sum h
+    quadratic = 4.0 * j
+    linear = -4.0 * j.sum(axis=1) + 2.0 * h
+    offset = ising.offset + float(j.sum()) - float(h.sum())
+    return QuboModel(quadratic, linear, offset)
+
+
+def spins_to_bits(spins: np.ndarray) -> np.ndarray:
+    """Map ``{-1, +1}`` spins to ``{0, 1}`` bits."""
+    s = np.asarray(spins)
+    return ((s + 1) // 2).astype(np.int8)
+
+
+def bits_to_spins(bits: np.ndarray) -> np.ndarray:
+    """Map ``{0, 1}`` bits to ``{-1, +1}`` spins."""
+    x = np.asarray(bits)
+    return (2 * x - 1).astype(np.int8)

@@ -1,0 +1,106 @@
+"""Common interface for all QUBO solvers (classical and quantum-inspired).
+
+Every solver consumes a :class:`repro.qubo.QuboModel` and returns a
+:class:`SolveResult` carrying the assignment, its energy, a status flag and
+wall-clock timing.  The status flags mirror the solver states the paper's
+methodology distinguishes: ``OPTIMAL`` (proved), ``TIME_LIMIT`` (incumbent
+returned at the deadline) and ``HEURISTIC`` (no optimality claim, the QHD
+and metaheuristic case).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.qubo.model import QuboModel
+from repro.qubo.sparse import SparseQuboModel
+
+
+class SolverStatus(enum.Enum):
+    """Terminal state of a solve call."""
+
+    OPTIMAL = "optimal"
+    TIME_LIMIT = "time_limit"
+    HEURISTIC = "heuristic"
+    ITERATION_LIMIT = "iteration_limit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one QUBO solve.
+
+    Attributes
+    ----------
+    x:
+        Best assignment found, int8 vector in {0, 1}.
+    energy:
+        Energy of ``x`` under the solved model (includes the offset).
+    status:
+        Terminal :class:`SolverStatus`.
+    wall_time:
+        Seconds of wall clock consumed.
+    solver_name:
+        Human-readable solver identifier for reports.
+    iterations:
+        Solver-specific progress counter (B&B nodes, annealing sweeps,
+        QHD time steps, ...).
+    metadata:
+        Free-form extras (sample counts, bound values, ...).
+    """
+
+    x: np.ndarray
+    energy: float
+    status: SolverStatus
+    wall_time: float
+    solver_name: str
+    iterations: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.x)
+        if arr.ndim != 1:
+            raise SolverError(f"x must be 1-D, got shape {arr.shape}")
+        if arr.size and not np.all(np.isin(arr, (0, 1))):
+            raise SolverError("x must be a binary vector")
+        object.__setattr__(self, "x", arr.astype(np.int8))
+        if math.isnan(self.energy):
+            raise SolverError("energy must not be NaN")
+
+    @property
+    def proved_optimal(self) -> bool:
+        """Whether the solver proved this assignment optimal."""
+        return self.status is SolverStatus.OPTIMAL
+
+
+class QuboSolver(ABC):
+    """Abstract base class of every QUBO solver in the library."""
+
+    #: Identifier used in reports and experiment tables.
+    name: str = "solver"
+
+    @abstractmethod
+    def solve(self, model: QuboModel) -> SolveResult:
+        """Minimise ``model`` and return a :class:`SolveResult`."""
+
+    def _validate_model(self, model: QuboModel) -> QuboModel:
+        if not isinstance(model, (QuboModel, SparseQuboModel)):
+            raise SolverError(
+                f"{self.name} expects a QuboModel or SparseQuboModel, "
+                f"got {type(model).__name__}"
+            )
+        if model.n_variables == 0:
+            raise SolverError("cannot solve a QUBO with zero variables")
+        return model
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,100 @@
+"""Solver portfolio: run several QUBO solvers and keep the best result.
+
+Mirrors how practitioners hedge heuristics in production: every solver
+gets the same model (optionally under a shared wall-clock budget) and the
+lowest-energy result wins.  Used by the examples and available as a
+drop-in :class:`repro.solvers.QuboSolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SolverError
+from repro.qubo.model import QuboModel
+from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class PortfolioOutcome:
+    """Per-solver results of one portfolio run, best first."""
+
+    results: tuple[SolveResult, ...]
+
+    @property
+    def best(self) -> SolveResult:
+        """The winning (lowest-energy) result."""
+        return self.results[0]
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """(solver_name, energy) pairs in ranked order."""
+        return [(r.solver_name, r.energy) for r in self.results]
+
+
+class PortfolioSolver(QuboSolver):
+    """Run member solvers sequentially and return the best solution.
+
+    Parameters
+    ----------
+    solvers:
+        Member solvers, each a configured :class:`QuboSolver`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.qubo import QuboModel
+    >>> from repro.solvers import GreedySolver, SimulatedAnnealingSolver
+    >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+    >>> solver = PortfolioSolver([GreedySolver(seed=0),
+    ...                           SimulatedAnnealingSolver(seed=0)])
+    >>> solver.solve(model).energy
+    -1.0
+    """
+
+    name = "portfolio"
+
+    def __init__(self, solvers: list[QuboSolver]) -> None:
+        if not solvers:
+            raise SolverError("portfolio needs at least one member solver")
+        for member in solvers:
+            if not isinstance(member, QuboSolver):
+                raise SolverError(
+                    f"portfolio members must be QuboSolvers, got "
+                    f"{type(member).__name__}"
+                )
+        self.solvers = list(solvers)
+
+    def solve(self, model: QuboModel) -> SolveResult:
+        """Run all members; return the winner with portfolio metadata."""
+        outcome = self.solve_all(model)
+        best = outcome.best
+        # Optimality proved by any member carries over to the portfolio
+        # only if the winner is that member's (proved) solution.
+        status = (
+            SolverStatus.OPTIMAL
+            if best.proved_optimal
+            else SolverStatus.HEURISTIC
+        )
+        total_time = sum(r.wall_time for r in outcome.results)
+        return SolveResult(
+            x=best.x,
+            energy=best.energy,
+            status=status,
+            wall_time=total_time,
+            solver_name=self.name,
+            iterations=sum(r.iterations for r in outcome.results),
+            metadata={
+                "winner": best.solver_name,
+                "ranking": outcome.ranking(),
+            },
+        )
+
+    def solve_all(self, model: QuboModel) -> PortfolioOutcome:
+        """Run all members and return every result, ranked best-first."""
+        model = self._validate_model(model)
+        watch = Stopwatch().start()
+        results = [member.solve(model) for member in self.solvers]
+        watch.stop()
+        ranked = sorted(results, key=lambda r: r.energy)
+        return PortfolioOutcome(results=tuple(ranked))

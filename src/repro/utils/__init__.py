@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG handling, timing, validation helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Stopwatch, TimeBudget
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "TimeBudget",
+    "check_integer",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+]

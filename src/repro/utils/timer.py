@@ -1,0 +1,120 @@
+"""Wall-clock timing utilities used by solvers and experiment runners.
+
+The evaluation methodology of the paper is time-based: QHD's execution time is
+measured first and the exact solver is then run with that same wall-clock
+budget (paper §V-B).  :class:`Stopwatch` measures elapsed time and
+:class:`TimeBudget` enforces a deadline that solvers poll cheaply from inner
+loops.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A start/stop wall-clock timer based on ``time.perf_counter``.
+
+    Examples
+    --------
+    >>> sw = Stopwatch().start()
+    >>> _ = sum(range(1000))
+    >>> sw.stop().elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing and return ``self`` for chaining."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> "Stopwatch":
+        """Pause timing, accumulating into :attr:`elapsed`."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self
+
+    def reset(self) -> "Stopwatch":
+        """Zero the accumulated time and stop the watch."""
+        self._start = None
+        self._elapsed = 0.0
+        return self
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently accumulating time."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds, including the running segment."""
+        extra = 0.0
+        if self._start is not None:
+            extra = time.perf_counter() - self._start
+        return self._elapsed + extra
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimeBudget:
+    """A wall-clock deadline polled by anytime solvers.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds.  ``math.inf`` means unlimited.
+
+    Notes
+    -----
+    The budget starts counting at construction time.  Solvers should call
+    :meth:`exhausted` at loop boundaries; the call costs one
+    ``perf_counter`` read.
+    """
+
+    seconds: float
+    _start: float = field(default_factory=time.perf_counter, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seconds, bool) or not isinstance(
+            self.seconds, (int, float)
+        ):
+            raise TypeError("seconds must be a number")
+        if math.isnan(self.seconds) or self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        self.seconds = float(self.seconds)
+
+    @classmethod
+    def unlimited(cls) -> "TimeBudget":
+        """A budget that never expires."""
+        return cls(math.inf)
+
+    def restart(self) -> None:
+        """Reset the deadline to ``seconds`` from now."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds consumed so far."""
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.seconds - self.elapsed)
+
+    def exhausted(self) -> bool:
+        """``True`` once the deadline has passed."""
+        return self.elapsed >= self.seconds

@@ -1,0 +1,78 @@
+"""Argument-validation helpers shared across the library.
+
+Each helper raises a descriptive exception naming the offending argument, so
+call sites stay one line and error messages stay uniform.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+import numpy as np
+
+
+def check_integer(value: Any, name: str, minimum: int | None = None) -> int:
+    """Validate that ``value`` is an integer, optionally at least ``minimum``.
+
+    Booleans are rejected (``True`` silently behaving as ``1`` hides bugs).
+    Returns the value as a plain ``int``.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_positive(
+    value: Any,
+    name: str,
+    allow_zero: bool = False,
+    allow_infinity: bool = False,
+) -> float:
+    """Validate that ``value`` is a positive (or non-negative) number.
+
+    ``allow_infinity`` admits ``+inf``, the idiom for "no limit" used by
+    solver time budgets.  NaN is always rejected.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if np.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if not np.isfinite(value) and not (allow_infinity and value > 0):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_square_matrix(matrix: Any, name: str) -> np.ndarray:
+    """Validate a dense 2-D square array of finite floats and return it.
+
+    The input is converted with ``np.asarray`` (no copy when already a float
+    array), so callers may pass nested lists.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(
+            f"{name} must be a square 2-D matrix, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr

@@ -1,0 +1,116 @@
+"""Tests for Girvan-Newman and adaptive penalty detection."""
+
+import numpy as np
+import pytest
+
+from repro.community.adaptive import AdaptivePenaltyDetector
+from repro.community.girvan_newman import (
+    edge_betweenness,
+    girvan_newman,
+)
+from repro.community.metrics import normalized_mutual_information
+from repro.community.modularity import modularity
+from repro.graphs.generators import planted_partition_graph, ring_of_cliques
+from repro.graphs.graph import Graph
+from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
+
+
+class TestEdgeBetweenness:
+    def test_bridge_has_highest_betweenness(self, tiny_graph):
+        active = {(u, v) for u, v, _ in tiny_graph.edges()}
+        betweenness = edge_betweenness(tiny_graph, active)
+        assert max(betweenness, key=betweenness.get) == (2, 3)
+
+    def test_path_graph_values(self):
+        # Path 0-1-2: middle edges carry shortest paths between all pairs.
+        g = Graph(3, [(0, 1), (1, 2)])
+        active = {(0, 1), (1, 2)}
+        betweenness = edge_betweenness(g, active)
+        # Each edge lies on paths (0,1),(0,2) resp (1,2),(0,2); counted
+        # from both endpoints' BFS trees: 2 * 2 = 4.
+        assert betweenness[(0, 1)] == betweenness[(1, 2)] == 4.0
+
+    def test_symmetric_graph_uniform(self):
+        # A 4-cycle: all edges equivalent by symmetry.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        active = {(u, v) for u, v, _ in g.edges()}
+        values = list(edge_betweenness(g, active).values())
+        assert np.allclose(values, values[0])
+
+
+class TestGirvanNewman:
+    def test_recovers_two_triangles(self, tiny_graph):
+        labels = girvan_newman(tiny_graph)
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        assert normalized_mutual_information(labels, truth) == 1.0
+
+    def test_recovers_ring_of_cliques(self):
+        graph, truth = ring_of_cliques(3, 5)
+        labels = girvan_newman(graph)
+        assert normalized_mutual_information(labels, truth) == 1.0
+
+    def test_max_communities_stop(self, tiny_graph):
+        labels = girvan_newman(tiny_graph, max_communities=2)
+        assert int(labels.max()) + 1 <= 3
+
+    def test_quality_reported_is_best_seen(self):
+        graph, truth = ring_of_cliques(3, 4)
+        labels = girvan_newman(graph)
+        # GN's best split is at least as good as the planted one here.
+        assert modularity(graph, labels) >= modularity(graph, truth) - 1e-9
+
+    def test_edgeless_graph(self):
+        labels = girvan_newman(Graph(4))
+        assert len(set(labels.tolist())) == 4
+
+    def test_max_removals_zero(self, tiny_graph):
+        labels = girvan_newman(tiny_graph, max_removals=0)
+        assert int(labels.max()) == 0  # nothing removed, one component
+
+
+class TestAdaptivePenaltyDetector:
+    def _solver(self):
+        return SimulatedAnnealingSolver(
+            n_sweeps=120, n_restarts=2, seed=0
+        )
+
+    def test_recovers_cliques(self):
+        graph, truth = ring_of_cliques(3, 5)
+        detector = AdaptivePenaltyDetector(self._solver())
+        result = detector.detect(graph, 3)
+        assert normalized_mutual_information(result.labels, truth) == 1.0
+        assert result.method.startswith("adaptive-")
+
+    def test_rounds_recorded(self):
+        graph, _ = planted_partition_graph(3, 10, 0.5, 0.05, seed=1)
+        detector = AdaptivePenaltyDetector(self._solver(), max_rounds=3)
+        result = detector.detect(graph, 3)
+        assert 1 <= result.metadata["rounds"] <= 3
+        assert len(result.metadata["penalty_history"]) == (
+            result.metadata["rounds"]
+        )
+
+    def test_escalation_increases_penalty(self):
+        graph, _ = planted_partition_graph(3, 10, 0.5, 0.05, seed=2)
+        detector = AdaptivePenaltyDetector(
+            self._solver(),
+            initial_scale=1e-6,  # deliberately hopeless start
+            escalation=10.0,
+            max_rounds=3,
+        )
+        result = detector.detect(graph, 3)
+        history = result.metadata["penalty_history"]
+        lambdas = [h[0] for h in history]
+        assert all(b > a for a, b in zip(lambdas, lambdas[1:]))
+
+    def test_rejects_non_escalating_factor(self):
+        with pytest.raises(ValueError):
+            AdaptivePenaltyDetector(self._solver(), escalation=1.0)
+
+    def test_quality_not_worse_than_plain_direct(self):
+        from repro.community.direct import DirectQuboDetector
+
+        graph, _ = planted_partition_graph(4, 10, 0.5, 0.03, seed=3)
+        plain = DirectQuboDetector(self._solver()).detect(graph, 4)
+        adaptive = AdaptivePenaltyDetector(self._solver()).detect(graph, 4)
+        assert adaptive.modularity >= plain.modularity - 0.05

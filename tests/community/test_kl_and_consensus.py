@@ -1,0 +1,169 @@
+"""Tests for Kernighan-Lin swap refinement and consensus clustering."""
+
+import numpy as np
+import pytest
+
+from repro.community.consensus import (
+    co_association_matrix,
+    consensus_detect,
+    consensus_labels,
+)
+from repro.community.kernighan_lin import kl_swap_refine, swap_gain
+from repro.community.metrics import normalized_mutual_information
+from repro.community.modularity import community_degree_sums, modularity
+from repro.exceptions import PartitionError
+from repro.graphs.generators import planted_partition_graph, ring_of_cliques
+from repro.graphs.graph import Graph
+
+
+class TestSwapGain:
+    def test_matches_full_recomputation(self):
+        graph, truth = planted_partition_graph(3, 8, 0.6, 0.1, seed=1)
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=graph.n_nodes)
+        degree_sums = community_degree_sums(graph, labels)
+        base = modularity(graph, labels)
+        checked = 0
+        for u in range(graph.n_nodes):
+            for v in range(u + 1, graph.n_nodes):
+                if labels[u] == labels[v]:
+                    continue
+                swapped = labels.copy()
+                swapped[u], swapped[v] = swapped[v], swapped[u]
+                expected = modularity(graph, swapped) - base
+                gain = swap_gain(graph, labels, u, v, degree_sums)
+                assert np.isclose(gain, expected, atol=1e-12), (u, v)
+                checked += 1
+        assert checked > 10
+
+    def test_same_community_zero(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        degree_sums = community_degree_sums(tiny_graph, labels)
+        assert swap_gain(tiny_graph, labels, 0, 1, degree_sums) == 0.0
+
+    def test_weighted_graph(self):
+        g = Graph(4, [(0, 1, 3.0), (2, 3, 3.0), (1, 2, 1.0), (0, 3, 1.0)])
+        labels = np.array([0, 1, 1, 0])  # deliberately crossed
+        degree_sums = community_degree_sums(g, labels)
+        base = modularity(g, labels)
+        swapped = labels.copy()
+        swapped[1], swapped[3] = swapped[3], swapped[1]
+        expected = modularity(g, swapped) - base
+        gain = swap_gain(g, labels, 1, 3, degree_sums)
+        assert np.isclose(gain, expected, atol=1e-12)
+
+
+class TestKlSwapRefine:
+    def test_repairs_crossed_pair(self):
+        """Two nodes swapped between cliques: single moves can't fix it
+        under balance, swaps can."""
+        graph, truth = ring_of_cliques(2, 6)
+        crossed = truth.copy()
+        crossed[0], crossed[6] = crossed[6], crossed[0]
+        refined, n_swaps = kl_swap_refine(graph, crossed)
+        assert n_swaps >= 1
+        assert normalized_mutual_information(refined, truth) == 1.0
+
+    def test_preserves_community_sizes(self):
+        graph, truth = planted_partition_graph(3, 10, 0.5, 0.05, seed=2)
+        rng = np.random.default_rng(3)
+        labels = truth.copy()
+        idx = rng.choice(30, size=6, replace=False)
+        labels[idx] = (labels[idx] + 1) % 3
+        sizes_before = np.bincount(labels, minlength=3)
+        refined, _ = kl_swap_refine(graph, labels)
+        sizes_after = np.bincount(refined, minlength=3)
+        np.testing.assert_array_equal(sizes_before, sizes_after)
+
+    def test_never_decreases_modularity(self):
+        graph, _ = planted_partition_graph(3, 10, 0.4, 0.08, seed=4)
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 3, size=graph.n_nodes)
+        before = modularity(graph, labels)
+        refined, _ = kl_swap_refine(graph, labels)
+        assert modularity(graph, refined) >= before - 1e-12
+
+    def test_ground_truth_stable(self):
+        graph, truth = ring_of_cliques(3, 5)
+        refined, n_swaps = kl_swap_refine(graph, truth)
+        assert n_swaps == 0
+        np.testing.assert_array_equal(refined, truth)
+
+    def test_exhaustive_candidates(self):
+        graph, truth = ring_of_cliques(2, 4)
+        crossed = truth.copy()
+        crossed[0], crossed[4] = crossed[4], crossed[0]
+        refined, _ = kl_swap_refine(
+            graph, crossed, candidate_edges_only=False
+        )
+        assert normalized_mutual_information(refined, truth) == 1.0
+
+    def test_max_swaps_zero(self, tiny_graph):
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        refined, n_swaps = kl_swap_refine(tiny_graph, labels, max_swaps=0)
+        assert n_swaps == 0
+
+    def test_wrong_shape(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            kl_swap_refine(tiny_graph, np.zeros(2, dtype=int))
+
+
+class TestCoAssociation:
+    def test_values(self):
+        matrix = co_association_matrix(
+            [np.array([0, 0, 1]), np.array([0, 1, 1])]
+        )
+        assert matrix[0, 1] == 0.5
+        assert matrix[1, 2] == 0.5
+        assert matrix[0, 2] == 0.0
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_identical_partitions(self):
+        matrix = co_association_matrix([np.array([0, 1])] * 5)
+        assert matrix[0, 1] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            co_association_matrix([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            co_association_matrix(
+                [np.array([0, 1]), np.array([0, 1, 2])]
+            )
+
+
+class TestConsensus:
+    def test_unanimous(self):
+        labels = consensus_labels([np.array([0, 0, 1, 1])] * 3)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_majority_wins(self):
+        runs = [
+            np.array([0, 0, 1, 1]),
+            np.array([0, 0, 1, 1]),
+            np.array([0, 1, 1, 0]),
+        ]
+        labels = consensus_labels(runs, threshold=0.5)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+
+    def test_consensus_detect_stabilises_noisy_runs(self):
+        graph, truth = ring_of_cliques(3, 6)
+
+        def noisy_detect(run: int) -> np.ndarray:
+            rng = np.random.default_rng(run)
+            labels = truth.copy()
+            flip = rng.choice(graph.n_nodes, size=2, replace=False)
+            labels[flip] = rng.integers(0, 3, size=2)
+            return labels
+
+        result = consensus_detect(graph, noisy_detect, n_runs=9)
+        assert (
+            normalized_mutual_information(result.labels, truth) > 0.85
+        )
+        assert result.method == "consensus"
+        assert len(result.metadata["run_modularities"]) == 9
+        assert 0.0 <= result.metadata["mean_agreement"] <= 1.0

@@ -1,0 +1,130 @@
+"""Tests for partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.community.metrics import (
+    adjusted_rand_index,
+    conductance,
+    coverage,
+    normalized_mutual_information,
+    partition_summary,
+)
+from repro.exceptions import PartitionError
+from repro.graphs.generators import ring_of_cliques
+from repro.graphs.graph import Graph
+
+
+class TestNmi:
+    def test_identical(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+
+    def test_relabelled(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 2, 2]) == 1.0
+
+    def test_independent_is_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_both_trivial(self):
+        assert normalized_mutual_information([0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_one_trivial(self):
+        value = normalized_mutual_information([0, 0, 0, 0], [0, 1, 0, 1])
+        assert value == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=50)
+        b = rng.integers(0, 5, size=50)
+        assert np.isclose(
+            normalized_mutual_information(a, b),
+            normalized_mutual_information(b, a),
+        )
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a = rng.integers(0, 4, size=30)
+            b = rng.integers(0, 4, size=30)
+            value = normalized_mutual_information(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_mismatched_length(self):
+        with pytest.raises(PartitionError):
+            normalized_mutual_information([0, 1], [0, 1, 2])
+
+
+class TestAri:
+    def test_identical(self):
+        assert adjusted_rand_index([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_relabelled(self):
+        assert adjusted_rand_index([0, 0, 1], [1, 1, 0]) == 1.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 4, size=3000)
+        b = rng.integers(0, 4, size=3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_single_pair(self):
+        assert adjusted_rand_index([0], [0]) == 1.0
+
+    def test_disagreement_negative_possible(self):
+        # Perfectly anti-correlated structured labels can go below 0.
+        value = adjusted_rand_index([0, 0, 1, 1], [0, 1, 0, 1])
+        assert value <= 0.0
+
+
+class TestConductance:
+    def test_isolated_cliques_zero(self):
+        graph, truth = ring_of_cliques(1, 5)
+        cond = conductance(graph, truth)
+        assert cond[0] == 0.0
+
+    def test_bridged_cliques_small(self):
+        graph, truth = ring_of_cliques(4, 6)
+        cond = conductance(graph, truth)
+        assert all(0 < v < 0.3 for v in cond.values())
+
+    def test_split_clique_large(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        cond = conductance(g, np.array([0, 0, 1, 1]))
+        assert cond[0] > 0.5
+
+    def test_wrong_length(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            conductance(tiny_graph, np.zeros(3, dtype=int))
+
+
+class TestCoverage:
+    def test_all_internal(self, tiny_graph):
+        assert coverage(tiny_graph, np.zeros(6, dtype=int)) == 1.0
+
+    def test_partial(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert np.isclose(coverage(tiny_graph, labels), 6.0 / 7.0)
+
+    def test_empty_graph(self):
+        assert coverage(Graph(3), np.zeros(3, dtype=int)) == 1.0
+
+
+class TestPartitionSummary:
+    def test_fields(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        summary = partition_summary(tiny_graph, labels)
+        assert summary.n_communities == 2
+        assert summary.min_size == 3
+        assert summary.max_size == 3
+        assert 0 < summary.modularity < 1
+        assert np.isclose(summary.coverage, 6.0 / 7.0)
+
+    def test_as_row(self, tiny_graph):
+        row = partition_summary(
+            tiny_graph, np.zeros(6, dtype=int)
+        ).as_row()
+        assert row["communities"] == 1
+        assert row["coverage"] == 1.0

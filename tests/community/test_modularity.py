@@ -1,0 +1,132 @@
+"""Tests for modularity (Eq. 1) and gains."""
+
+import numpy as np
+import pytest
+
+from repro.community.modularity import (
+    community_degree_sums,
+    modularity,
+    modularity_gain_matrix,
+    node_to_community_weights,
+)
+from repro.exceptions import PartitionError
+from repro.graphs.generators import planted_partition_graph, ring_of_cliques
+from repro.graphs.graph import Graph
+
+
+class TestModularity:
+    def test_known_value_two_triangles(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        # 2m = 14; internal per community = 2*3 edges doubled = 12;
+        # degree sums are 7 and 7.
+        expected = (12.0 - (49 + 49) / 14.0) / 14.0
+        assert np.isclose(modularity(tiny_graph, labels), expected)
+
+    def test_single_community_zero(self, tiny_graph):
+        assert np.isclose(
+            modularity(tiny_graph, np.zeros(6, dtype=int)), 0.0
+        )
+
+    def test_singletons_negative(self, tiny_graph):
+        value = modularity(tiny_graph, np.arange(6))
+        assert value < 0
+
+    def test_ground_truth_near_optimal(self):
+        graph, truth = ring_of_cliques(5, 6)
+        q_truth = modularity(graph, truth)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            random_labels = rng.integers(0, 5, size=graph.n_nodes)
+            assert modularity(graph, random_labels) <= q_truth
+
+    def test_empty_graph(self):
+        assert modularity(Graph(4), np.zeros(4, dtype=int)) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        graph, truth = planted_partition_graph(3, 12, 0.5, 0.05, seed=7)
+        communities = [
+            set(np.flatnonzero(truth == c).tolist()) for c in range(3)
+        ]
+        expected = nx.algorithms.community.modularity(
+            graph.to_networkx(), communities
+        )
+        assert np.isclose(modularity(graph, truth), expected, atol=1e-12)
+
+    def test_weighted_graph(self):
+        g = Graph(4, [(0, 1, 3.0), (2, 3, 3.0), (1, 2, 1.0)])
+        labels = np.array([0, 0, 1, 1])
+        import networkx as nx
+
+        expected = nx.algorithms.community.modularity(
+            g.to_networkx(), [{0, 1}, {2, 3}], weight="weight"
+        )
+        assert np.isclose(modularity(g, labels), expected)
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            modularity(tiny_graph, np.zeros(3, dtype=int))
+
+    def test_negative_labels_rejected(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            modularity(tiny_graph, np.full(6, -1))
+
+    def test_self_loop_convention(self):
+        # One node with a self-loop, one isolated: Q of the singleton
+        # partition must be 0 (all weight internal, null model saturated).
+        g = Graph(2, [(0, 0, 2.0)])
+        assert modularity(g, np.array([0, 1])) == 0.0
+
+
+class TestCommunityDegreeSums:
+    def test_values(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        sums = community_degree_sums(tiny_graph, labels)
+        np.testing.assert_allclose(sums, [7.0, 7.0])
+
+    def test_total_is_2m(self, planted_graph):
+        graph, truth = planted_graph
+        sums = community_degree_sums(graph, truth)
+        assert np.isclose(sums.sum(), 2.0 * graph.total_weight)
+
+
+class TestNodeToCommunityWeights:
+    def test_values(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        weights = node_to_community_weights(tiny_graph, 2, labels, 2)
+        np.testing.assert_allclose(weights, [2.0, 1.0])
+
+    def test_self_loop_excluded(self):
+        g = Graph(2, [(0, 0, 5.0), (0, 1, 1.0)])
+        weights = node_to_community_weights(
+            g, 0, np.array([0, 1]), 2
+        )
+        np.testing.assert_allclose(weights, [0.0, 1.0])
+
+
+class TestModularityGainMatrix:
+    def test_gain_matches_recomputation(self):
+        graph, truth = planted_partition_graph(3, 8, 0.6, 0.1, seed=3)
+        labels = truth.copy()
+        gains = modularity_gain_matrix(graph, labels, 3)
+        base = modularity(graph, labels)
+        for node in range(graph.n_nodes):
+            for target in range(3):
+                moved = labels.copy()
+                moved[node] = target
+                expected = modularity(graph, moved) - base
+                assert np.isclose(
+                    gains[node, target], expected, atol=1e-12
+                )
+
+    def test_current_community_zero(self, tiny_graph):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        gains = modularity_gain_matrix(tiny_graph, labels, 2)
+        for node in range(6):
+            assert gains[node, labels[node]] == 0.0
+
+    def test_ground_truth_is_local_optimum(self):
+        graph, truth = ring_of_cliques(4, 5)
+        gains = modularity_gain_matrix(graph, truth, 4)
+        assert gains.max() <= 1e-12

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    planted_partition_graph,
+    ring_of_cliques,
+)
+from repro.graphs.graph import Graph
+from repro.qubo.model import QuboModel
+from repro.qubo.random_instances import random_qubo
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """Two triangles joined by one bridge edge — two obvious communities."""
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    return Graph(6, edges)
+
+
+@pytest.fixture
+def clique_ring():
+    """4 cliques of 5 nodes with ground-truth labels."""
+    return ring_of_cliques(4, 5)
+
+
+@pytest.fixture
+def planted_graph():
+    """A modest planted-partition instance with clear structure."""
+    return planted_partition_graph(3, 20, 0.45, 0.03, seed=42)
+
+
+@pytest.fixture
+def small_qubo() -> QuboModel:
+    """A 2-variable QUBO with known optimum x=(1,0)/(0,1), E=-1."""
+    return QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+
+
+@pytest.fixture
+def random_qubo_12() -> QuboModel:
+    """A reproducible 12-variable random QUBO (brute-forceable)."""
+    return random_qubo(12, 0.4, seed=123)

@@ -1,0 +1,146 @@
+"""Tests for the instance registry and synthetic substitutes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    get_instance,
+    table1_instances,
+    table2_instances,
+)
+from repro.datasets.synthetic import (
+    build_matched_graph,
+    default_community_count,
+    scaled_spec,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_table1_count_and_order(self):
+        instances = table1_instances()
+        assert len(instances) == 10
+        assert instances[0].name == "0"
+        assert instances[-1].name == "3980"
+
+    def test_table2_count(self):
+        assert len(table2_instances()) == 4
+
+    def test_published_sizes(self):
+        facebook = get_instance("facebook")
+        assert facebook.n_nodes == 4039
+        assert facebook.n_edges == 88234
+        inst_107 = get_instance("107")
+        assert inst_107.n_nodes == 1034
+        assert inst_107.n_edges == 26749
+
+    def test_published_modularities(self):
+        facebook = get_instance("facebook")
+        assert facebook.paper_gurobi_modularity == 0.7121
+        assert facebook.paper_qhd_modularity == 0.7512
+        assert facebook.paper_winner == "qhd"
+        lastfm = get_instance("lastfm_asia")
+        assert lastfm.paper_winner == "gurobi"
+        tie = get_instance("414")
+        assert tie.paper_winner == "tie"
+
+    def test_density_property(self):
+        spec = get_instance("facebook")
+        assert np.isclose(spec.density, 0.0108)
+
+    def test_density_consistent_with_counts(self):
+        for spec in table1_instances() + table2_instances():
+            implied = (
+                2.0 * spec.n_edges / (spec.n_nodes * (spec.n_nodes - 1))
+            )
+            assert abs(implied - spec.density) < 0.002
+
+    def test_unknown_instance(self):
+        with pytest.raises(DatasetError, match="unknown instance"):
+            get_instance("nope")
+
+
+class TestScaledSpec:
+    def test_identity_at_one(self):
+        spec = get_instance("facebook")
+        assert scaled_spec(spec, 1.0) is spec
+
+    def test_preserves_density(self):
+        spec = get_instance("facebook")
+        small = scaled_spec(spec, 0.25)
+        implied = 2.0 * small.n_edges / (small.n_nodes * (small.n_nodes - 1))
+        assert abs(implied - spec.density) < 0.002
+
+    def test_scales_nodes(self):
+        spec = get_instance("facebook")
+        small = scaled_spec(spec, 0.25)
+        assert abs(small.n_nodes - 0.25 * spec.n_nodes) < 2
+
+    def test_rejects_bad_scale(self):
+        spec = get_instance("facebook")
+        with pytest.raises(DatasetError):
+            scaled_spec(spec, 0.0)
+        with pytest.raises(DatasetError):
+            scaled_spec(spec, 2.0)
+
+    def test_floor_on_tiny_scales(self):
+        spec = get_instance("3980")  # 52 nodes
+        small = scaled_spec(spec, 0.01)
+        assert small.n_nodes >= 16
+
+
+class TestBuildMatchedGraph:
+    def test_matches_node_count(self):
+        spec = get_instance("3980")
+        graph, labels = build_matched_graph(spec, seed=0)
+        assert graph.n_nodes == spec.n_nodes
+        assert len(labels) == spec.n_nodes
+
+    def test_edge_count_close(self):
+        spec = get_instance("698")  # 61 nodes, 270 edges
+        graph, _ = build_matched_graph(spec, seed=1)
+        assert abs(graph.n_edges - spec.n_edges) < 0.25 * spec.n_edges
+
+    def test_has_community_structure(self):
+        from repro.community.modularity import modularity
+
+        spec = get_instance("698")
+        graph, labels = build_matched_graph(spec, mixing=0.1, seed=2)
+        assert modularity(graph, labels) > 0.3
+
+    def test_mixing_controls_inter_edges(self):
+        spec = get_instance("698")
+        low, labels_low = build_matched_graph(spec, mixing=0.05, seed=3)
+        high, labels_high = build_matched_graph(spec, mixing=0.5, seed=3)
+
+        def inter_fraction(graph, labels):
+            inter = sum(
+                w
+                for u, v, w in graph.edges()
+                if labels[u] != labels[v]
+            )
+            return inter / graph.total_weight
+
+        assert inter_fraction(low, labels_low) < inter_fraction(
+            high, labels_high
+        )
+
+    def test_reproducible(self):
+        spec = get_instance("3980")
+        a, _ = build_matched_graph(spec, seed=5)
+        b, _ = build_matched_graph(spec, seed=5)
+        assert a == b
+
+    def test_custom_community_count(self):
+        spec = get_instance("698")
+        _, labels = build_matched_graph(spec, n_communities=3, seed=6)
+        assert len(np.unique(labels)) == 3
+
+
+class TestDefaultCommunityCount:
+    def test_grows_slowly(self):
+        assert default_community_count(50) < default_community_count(5000)
+
+    def test_bounds(self):
+        assert default_community_count(8) >= 2
+        assert default_community_count(10**6) <= 24

@@ -1,0 +1,241 @@
+"""Tests for the experiment runners (tiny scales for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import table1_instances, table2_instances
+from repro.experiments.ablations import (
+    run_multilevel_ablation,
+    run_penalty_ablation,
+    run_schedule_ablation,
+)
+from repro.experiments.large_networks import (
+    LargeNetworksConfig,
+    run_large_networks,
+)
+from repro.experiments.reporting import format_table, percent
+from repro.experiments.small_networks import (
+    SmallNetworksConfig,
+    run_small_networks,
+)
+from repro.experiments.solver_comparison import (
+    InstanceOutcome,
+    PortfolioReport,
+    SolverComparisonConfig,
+    run_solver_comparison,
+)
+from repro.solvers.base import SolverStatus
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_formatting(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_percent(self):
+        assert percent(0.714) == "71.4%"
+
+
+def make_outcome(
+    status=SolverStatus.TIME_LIMIT, qhd=-10.0, exact=-9.0, n=100
+):
+    return InstanceOutcome(
+        instance_id=0,
+        regime="test",
+        family="random",
+        n_variables=n,
+        density=0.05,
+        qhd_energy=qhd,
+        qhd_time=0.1,
+        exact_energy=exact,
+        exact_status=status,
+        exact_time=0.1,
+    )
+
+
+class TestPortfolioReport:
+    def test_verdicts(self):
+        assert make_outcome(qhd=-10, exact=-9).verdict == "better"
+        assert make_outcome(qhd=-9, exact=-10).verdict == "worse"
+        assert make_outcome(qhd=-10, exact=-10).verdict == "equal"
+
+    def test_pools_split_by_status(self):
+        report = PortfolioReport(
+            outcomes=[
+                make_outcome(SolverStatus.OPTIMAL),
+                make_outcome(SolverStatus.TIME_LIMIT),
+                make_outcome(SolverStatus.TIME_LIMIT),
+            ]
+        )
+        assert len(report.optimal_pool) == 1
+        assert len(report.time_limit_pool) == 2
+
+    def test_fig3_fractions(self):
+        report = PortfolioReport(
+            outcomes=[
+                make_outcome(qhd=-10, exact=-9),
+                make_outcome(qhd=-9, exact=-10),
+                make_outcome(qhd=-10, exact=-10),
+                make_outcome(qhd=-11, exact=-10),
+            ]
+        )
+        summary = report.fig3_summary()
+        assert summary["qhd_better"] == 0.5
+        assert summary["qhd_equal"] == 0.25
+        assert summary["qhd_worse"] == 0.25
+
+    def test_fig4_matched_includes_better(self):
+        report = PortfolioReport(
+            outcomes=[
+                make_outcome(SolverStatus.OPTIMAL, qhd=-10, exact=-10),
+                make_outcome(SolverStatus.OPTIMAL, qhd=-9.9, exact=-10),
+            ]
+        )
+        summary = report.fig4_summary()
+        assert summary["qhd_matched"] == 0.5
+        assert summary["qhd_gap_max"] == pytest.approx(0.01)
+
+    def test_empty_report_renders(self):
+        report = PortfolioReport()
+        assert "Figure 3" in report.to_text()
+
+    def test_outcome_table(self):
+        report = PortfolioReport(outcomes=[make_outcome()])
+        assert "verdict" in report.outcome_table()
+
+
+class TestRunSolverComparison:
+    def test_tiny_run(self):
+        config = SolverComparisonConfig(
+            portfolio_scale=0.004,
+            qhd_samples=4,
+            qhd_steps=30,
+            qhd_grid_points=8,
+            min_time_limit=0.1,
+        )
+        report = run_solver_comparison(config)
+        assert len(report.outcomes) >= 2
+        text = report.to_text()
+        assert "Figure 3" in text and "Figure 4" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SolverComparisonConfig(portfolio_scale=0.0)
+
+
+class TestRunSmallNetworks:
+    def test_subset_run(self):
+        config = SmallNetworksConfig(
+            instance_scale=0.12,
+            qhd_samples=4,
+            qhd_steps=30,
+            qhd_grid_points=8,
+            min_time_limit=0.1,
+            exact_time_factor=1.0,
+        )
+        report = run_small_networks(
+            config, instances=table1_instances()[:2]
+        )
+        assert len(report.rows) == 2
+        summary = report.fig5_summary()
+        assert 0.0 <= summary["qhd_wins"] <= 1.0
+        assert "Table I" in report.to_text()
+
+    def test_rows_match_specs(self):
+        config = SmallNetworksConfig(
+            instance_scale=0.12,
+            qhd_samples=4,
+            qhd_steps=30,
+            qhd_grid_points=8,
+            min_time_limit=0.1,
+            exact_time_factor=1.0,
+        )
+        specs = table1_instances()[:1]
+        report = run_small_networks(config, instances=specs)
+        assert report.rows[0].spec.name == specs[0].name
+        assert report.rows[0].qhd_modularity <= 1.0
+
+
+class TestRunLargeNetworks:
+    def test_subset_run(self):
+        config = LargeNetworksConfig(
+            instance_scale=0.05,
+            n_seeds=1,
+            qhd_samples=4,
+            qhd_steps=30,
+            qhd_grid_points=8,
+            coarsen_threshold=40,
+            min_time_limit=0.1,
+        )
+        report = run_large_networks(
+            config, instances=table2_instances()[:1]
+        )
+        assert len(report.rows) == 1
+        row = report.rows[0]
+        assert row.qhd_mean > 0.1
+        assert "Table II" in report.to_text()
+        series = report.fig6_series()
+        assert len(series) == 1
+
+    def test_density_sorted_series(self):
+        config = LargeNetworksConfig(
+            instance_scale=0.04,
+            n_seeds=1,
+            qhd_samples=4,
+            qhd_steps=30,
+            qhd_grid_points=8,
+            coarsen_threshold=30,
+            min_time_limit=0.1,
+        )
+        report = run_large_networks(
+            config, instances=table2_instances()[:2]
+        )
+        densities = [d for _, d, _ in report.fig6_series()]
+        assert densities == sorted(densities)
+
+
+class TestAblations:
+    def test_schedule_ablation(self):
+        rows, table = run_schedule_ablation(
+            n_instances=2, n_variables=16, qhd_samples=4, qhd_steps=30
+        )
+        assert len(rows) == 3
+        assert all(r.mean_gap_vs_best >= 0 for r in rows)
+        assert "ABL-SCHED" in table
+
+    def test_penalty_ablation(self):
+        rows, table = run_penalty_ablation(
+            n_communities=3, community_size=8, scales=(0.0, 1.0)
+        )
+        assert len(rows) == 2
+        zero, auto = rows
+        # Without penalties the raw solution violates constraints more.
+        assert zero.unassigned + zero.multi_assigned >= (
+            auto.unassigned + auto.multi_assigned
+        )
+        assert "ABL-PEN" in table
+
+    def test_multilevel_ablation(self):
+        rows, table = run_multilevel_ablation(
+            n_communities=3,
+            community_size=20,
+            thresholds=(20,),
+            alpha_beta=((0.5, 0.5),),
+        )
+        assert len(rows) == 2  # direct + one multilevel variant
+        assert rows[0].variant == "direct"
+        assert "ABL-ML" in table

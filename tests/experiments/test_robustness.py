@@ -1,0 +1,71 @@
+"""Tests for the edge-noise robustness experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import (
+    RobustnessReport,
+    rewire_edges,
+    run_robustness,
+)
+from repro.graphs.generators import ring_of_cliques
+from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
+
+
+class TestRewireEdges:
+    def test_zero_fraction_is_identity(self):
+        graph, _ = ring_of_cliques(3, 5)
+        assert rewire_edges(graph, 0.0, seed=0) is graph
+
+    def test_edge_count_preserved(self):
+        graph, _ = ring_of_cliques(3, 5)
+        noisy = rewire_edges(graph, 0.3, seed=1)
+        assert noisy.n_edges == graph.n_edges
+        assert noisy.n_nodes == graph.n_nodes
+
+    def test_structure_degrades(self):
+        from repro.community.modularity import modularity
+
+        graph, truth = ring_of_cliques(4, 6)
+        noisy = rewire_edges(graph, 0.5, seed=2)
+        assert modularity(noisy, truth) < modularity(graph, truth)
+
+    def test_no_self_loops_created(self):
+        graph, _ = ring_of_cliques(3, 5)
+        noisy = rewire_edges(graph, 0.5, seed=3)
+        assert all(u != v for u, v, _ in noisy.edges())
+
+    def test_reproducible(self):
+        graph, _ = ring_of_cliques(3, 5)
+        a = rewire_edges(graph, 0.2, seed=4)
+        b = rewire_edges(graph, 0.2, seed=4)
+        assert a == b
+
+    def test_rejects_bad_fraction(self):
+        graph, _ = ring_of_cliques(2, 4)
+        with pytest.raises(ValueError):
+            rewire_edges(graph, 1.5)
+
+
+class TestRunRobustness:
+    def test_tiny_sweep(self):
+        report = run_robustness(
+            fractions=(0.0, 0.2),
+            n_communities=3,
+            community_size=10,
+            solver=SimulatedAnnealingSolver(
+                n_sweeps=80, n_restarts=2, seed=0
+            ),
+            seed=5,
+        )
+        assert len(report.points) == 2
+        clean, noisy = report.points
+        # At zero noise the run must agree with the clean baseline.
+        assert clean.nmi_vs_clean == 1.0
+        assert clean.nmi_vs_truth > 0.8
+        # Noise cannot *improve* agreement with the clean baseline.
+        assert noisy.nmi_vs_clean <= 1.0
+
+    def test_report_rendering(self):
+        report = RobustnessReport()
+        assert "rewired" in report.to_text()

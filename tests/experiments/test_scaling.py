@@ -1,0 +1,74 @@
+"""Tests for the scaling experiment."""
+
+import numpy as np
+
+from repro.experiments.scaling import (
+    ScalingPoint,
+    ScalingReport,
+    run_scaling,
+)
+from repro.solvers.base import SolverStatus
+
+
+def make_point(n, qhd, exact, status=SolverStatus.TIME_LIMIT):
+    return ScalingPoint(
+        n_variables=n,
+        qhd_energy=qhd,
+        qhd_time=0.1 * n / 50,
+        exact_energy=exact,
+        exact_time=0.1,
+        exact_status=status,
+    )
+
+
+class TestScalingReport:
+    def test_winner_classification(self):
+        assert make_point(10, -5.0, -4.0).winner == "qhd"
+        assert make_point(10, -4.0, -5.0).winner == "exact"
+        assert make_point(10, -5.0, -5.0).winner == "tie"
+
+    def test_crossover_all_wins(self):
+        report = ScalingReport(
+            points=[make_point(50, -5, -4), make_point(100, -9, -8)]
+        )
+        assert report.crossover_size() == 50
+
+    def test_crossover_after_loss(self):
+        report = ScalingReport(
+            points=[
+                make_point(50, -4, -5),
+                make_point(100, -9, -8),
+                make_point(200, -20, -18),
+            ]
+        )
+        assert report.crossover_size() == 100
+
+    def test_crossover_none(self):
+        report = ScalingReport(points=[make_point(50, -4, -5)])
+        assert report.crossover_size() is None
+
+    def test_time_growth(self):
+        report = ScalingReport(
+            points=[make_point(50, -1, -1), make_point(100, -2, -2)]
+        )
+        assert np.isclose(report.qhd_time_growth(), 2.0)
+
+    def test_to_text(self):
+        report = ScalingReport(points=[make_point(50, -5, -4)])
+        text = report.to_text()
+        assert "winner" in text and "qhd" in text
+
+
+class TestRunScaling:
+    def test_tiny_sweep(self):
+        report = run_scaling(
+            sizes=(20, 40),
+            qhd_samples=4,
+            qhd_steps=30,
+            min_time_limit=0.1,
+        )
+        assert len(report.points) == 2
+        assert report.points[0].n_variables == 20
+        for point in report.points:
+            assert np.isfinite(point.qhd_energy)
+            assert point.qhd_time > 0

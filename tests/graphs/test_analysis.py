@@ -1,0 +1,63 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+
+from repro.graphs.analysis import (
+    GraphSummary,
+    average_clustering,
+    summarize_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.generators import ring_of_cliques
+
+
+class TestAverageClustering:
+    def test_triangle_is_one(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert average_clustering(g) == 1.0
+
+    def test_star_is_zero(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert average_clustering(g) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph(0)) == 0.0
+
+    def test_clique_ring_high(self):
+        graph, _ = ring_of_cliques(3, 5)
+        assert average_clustering(graph) > 0.7
+
+    def test_sampling_path_runs(self):
+        graph, _ = ring_of_cliques(10, 5)
+        full = average_clustering(graph)
+        sampled = average_clustering(graph, max_nodes=20)
+        assert abs(full - sampled) < 0.3
+
+
+class TestSummarizeGraph:
+    def test_fields(self, tiny_graph):
+        summary = summarize_graph(tiny_graph)
+        assert isinstance(summary, GraphSummary)
+        assert summary.n_nodes == 6
+        assert summary.n_edges == 7
+        assert summary.n_components == 1
+        assert summary.max_degree == 3.0
+
+    def test_empty(self):
+        summary = summarize_graph(Graph(0))
+        assert summary.mean_degree == 0.0
+        assert summary.n_components == 0
+
+    def test_as_row(self, tiny_graph):
+        row = summarize_graph(tiny_graph).as_row()
+        assert row["nodes"] == 6
+        assert "density_pct" in row
+        assert np.isclose(
+            row["density_pct"], 100.0 * tiny_graph.density
+        )
+
+    def test_degree_stats(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        summary = summarize_graph(g)
+        assert summary.mean_degree == np.mean([2, 1, 1])
+        assert summary.degree_std > 0

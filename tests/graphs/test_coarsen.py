@@ -1,0 +1,191 @@
+"""Tests for heavy-edge-matching coarsening (Algorithm 2 + Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.community.modularity import modularity
+from repro.exceptions import GraphError
+from repro.graphs.coarsen import (
+    CoarseningHierarchy,
+    coarsen_graph,
+    coarsen_to_threshold,
+    heavy_edge_matching,
+    hybrid_edge_scores,
+)
+from repro.graphs.generators import planted_partition_graph, ring_of_cliques
+from repro.graphs.graph import Graph
+
+
+class TestHybridEdgeScores:
+    def test_shape(self, tiny_graph):
+        scores = hybrid_edge_scores(tiny_graph)
+        assert len(scores) == tiny_graph.n_edges
+
+    def test_triangle_edges_score_higher_than_bridge(self, tiny_graph):
+        edge_u, edge_v, _ = tiny_graph.edge_arrays()
+        scores = hybrid_edge_scores(tiny_graph)
+        by_pair = {
+            (int(u), int(v)): s
+            for u, v, s in zip(edge_u, edge_v, scores)
+        }
+        assert by_pair[(0, 1)] > by_pair[(2, 3)]  # bridge has no overlap
+
+    def test_self_loop_scores_zero(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        edge_u, edge_v, _ = g.edge_arrays()
+        scores = hybrid_edge_scores(g)
+        loop_idx = [
+            i for i, (u, v) in enumerate(zip(edge_u, edge_v)) if u == v
+        ][0]
+        assert scores[loop_idx] == 0.0
+
+    def test_pure_weight_mode(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 5.0)])
+        scores = hybrid_edge_scores(g, alpha=0.0, beta=1.0)
+        assert scores.max() == 1.0  # heaviest edge normalised to 1
+
+    def test_empty_graph(self):
+        assert len(hybrid_edge_scores(Graph(3))) == 0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            hybrid_edge_scores(Graph(2, [(0, 1)]), alpha=-1.0)
+
+
+class TestHeavyEdgeMatching:
+    def test_matching_is_symmetric(self, planted_graph):
+        graph, _ = planted_graph
+        match = heavy_edge_matching(graph)
+        for u, v in enumerate(match.tolist()):
+            assert match[v] == u
+
+    def test_deterministic(self, planted_graph):
+        graph, _ = planted_graph
+        a = heavy_edge_matching(graph)
+        b = heavy_edge_matching(graph)
+        np.testing.assert_array_equal(a, b)
+
+    def test_edgeless_graph_all_unmatched(self):
+        match = heavy_edge_matching(Graph(4))
+        np.testing.assert_array_equal(match, np.arange(4))
+
+    def test_matched_pairs_are_edges(self, tiny_graph):
+        match = heavy_edge_matching(tiny_graph)
+        for u, v in enumerate(match.tolist()):
+            if u < v:
+                assert tiny_graph.has_edge(u, v)
+
+    def test_max_degree_blocks_heavy_pairs(self):
+        g = Graph(4, [(0, 1, 10.0), (2, 3, 1.0)])
+        match = heavy_edge_matching(g, max_degree=5.0)
+        assert match[0] == 0 and match[1] == 1  # too heavy to merge
+        assert match[2] == 3  # light pair still merges
+
+
+class TestCoarsenGraph:
+    def test_preserves_total_weight(self, planted_graph):
+        graph, _ = planted_graph
+        level = coarsen_graph(graph)
+        assert np.isclose(
+            level.coarse_graph.total_weight, graph.total_weight
+        )
+
+    def test_preserves_degree_sums(self, planted_graph):
+        graph, _ = planted_graph
+        level = coarsen_graph(graph)
+        coarse_degrees = np.zeros(level.coarse_graph.n_nodes)
+        np.add.at(coarse_degrees, level.mapping, np.asarray(graph.degrees))
+        np.testing.assert_allclose(
+            coarse_degrees, np.asarray(level.coarse_graph.degrees)
+        )
+
+    def test_shrinks(self, planted_graph):
+        graph, _ = planted_graph
+        level = coarsen_graph(graph)
+        assert level.coarse_graph.n_nodes < graph.n_nodes
+
+    def test_mapping_valid(self, planted_graph):
+        graph, _ = planted_graph
+        level = coarsen_graph(graph)
+        assert level.mapping.min() >= 0
+        assert level.mapping.max() == level.coarse_graph.n_nodes - 1
+
+    def test_project_labels(self, tiny_graph):
+        level = coarsen_graph(tiny_graph)
+        coarse_labels = np.arange(level.coarse_graph.n_nodes)
+        fine = level.project_labels(coarse_labels)
+        assert len(fine) == tiny_graph.n_nodes
+
+    def test_project_wrong_length(self, tiny_graph):
+        level = coarsen_graph(tiny_graph)
+        with pytest.raises(GraphError, match="coarse labels"):
+            level.project_labels(np.zeros(99, dtype=np.int64))
+
+
+class TestModularityInvariance:
+    """The load-bearing invariant of the multilevel method."""
+
+    def test_projected_modularity_equals_coarse(self):
+        graph, _ = planted_partition_graph(3, 15, 0.4, 0.05, seed=8)
+        level = coarsen_graph(graph)
+        coarse = level.coarse_graph
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            coarse_labels = rng.integers(0, 3, size=coarse.n_nodes)
+            fine_labels = level.project_labels(coarse_labels)
+            assert np.isclose(
+                modularity(coarse, coarse_labels),
+                modularity(graph, fine_labels),
+                atol=1e-12,
+            )
+
+    def test_invariance_through_full_hierarchy(self):
+        graph, _ = planted_partition_graph(4, 20, 0.35, 0.02, seed=3)
+        hierarchy = coarsen_to_threshold(graph, 12)
+        assert hierarchy is not None
+        coarse = hierarchy.coarsest_graph
+        labels = np.arange(coarse.n_nodes) % 4
+        fine = hierarchy.project_to_finest(labels)
+        assert np.isclose(
+            modularity(coarse, labels),
+            modularity(graph, fine),
+            atol=1e-12,
+        )
+
+
+class TestCoarsenToThreshold:
+    def test_reaches_threshold(self):
+        graph, _ = planted_partition_graph(4, 25, 0.3, 0.02, seed=1)
+        hierarchy = coarsen_to_threshold(graph, 20)
+        assert hierarchy is not None
+        assert hierarchy.coarsest_graph.n_nodes <= 20
+
+    def test_none_when_small_enough(self, tiny_graph):
+        assert coarsen_to_threshold(tiny_graph, 10) is None
+
+    def test_graphs_list(self):
+        graph, _ = ring_of_cliques(6, 4)
+        hierarchy = coarsen_to_threshold(graph, 8)
+        assert hierarchy is not None
+        graphs = hierarchy.graphs()
+        assert len(graphs) == hierarchy.n_levels + 1
+        assert graphs[0] is graph
+
+    def test_stops_when_stuck(self):
+        # Edgeless graph cannot be coarsened at all.
+        assert coarsen_to_threshold(Graph(100), 10) is None
+
+    def test_max_degree_stops_early(self):
+        graph, _ = ring_of_cliques(4, 6)
+        strict = coarsen_to_threshold(graph, 2, max_degree=8.0)
+        loose = coarsen_to_threshold(graph, 2)
+        assert loose is not None
+        if strict is not None:
+            assert (
+                strict.coarsest_graph.n_nodes
+                >= loose.coarsest_graph.n_nodes
+            )
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(GraphError):
+            CoarseningHierarchy([])

@@ -1,0 +1,209 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n_nodes == 0
+        assert g.n_edges == 0
+        assert g.total_weight == 0.0
+
+    def test_isolated_nodes(self):
+        g = Graph(5)
+        assert g.n_nodes == 5
+        assert all(g.degree(i) == 0.0 for i in range(5))
+
+    def test_simple_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n_edges == 2
+        assert g.total_weight == 2.0
+
+    def test_weighted_edges(self):
+        g = Graph(2, [(0, 1, 2.5)])
+        assert g.total_weight == 2.5
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_duplicate_edges_merge(self):
+        g = Graph(2, [(0, 1, 1.0), (1, 0, 2.0)])
+        assert g.n_edges == 1
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_rejects_bool_n(self):
+        with pytest.raises(GraphError):
+            Graph(True)
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError, match="outside"):
+            Graph(2, [(0, 2)])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(GraphError, match="negative"):
+            Graph(2, [(0, 1, -1.0)])
+
+    def test_rejects_nan_weight(self):
+        with pytest.raises(GraphError, match="non-finite"):
+            Graph(2, [(0, 1, float("nan"))])
+
+    def test_rejects_bad_tuple(self):
+        with pytest.raises(GraphError, match="must be"):
+            Graph(2, [(0,)])
+
+    def test_from_arrays(self):
+        g = Graph.from_arrays(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0])
+        )
+        assert g.n_edges == 2
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_from_arrays_default_weights(self):
+        g = Graph.from_arrays(3, np.array([0]), np.array([1]))
+        assert g.edge_weight(0, 1) == 1.0
+
+
+class TestDegrees:
+    def test_degree_simple(self, tiny_graph):
+        assert tiny_graph.degree(2) == 3.0  # triangle + bridge
+
+    def test_self_loop_counts_twice(self):
+        g = Graph(1, [(0, 0, 1.5)])
+        assert g.degree(0) == 3.0
+
+    def test_degrees_sum_to_2m(self, tiny_graph):
+        assert np.isclose(
+            tiny_graph.degrees.sum(), 2.0 * tiny_graph.total_weight
+        )
+
+    def test_degrees_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.degrees[0] = 99.0
+
+
+class TestQueries:
+    def test_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.neighbors(0).tolist()) == [1, 2]
+
+    def test_neighbors_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.neighbors(99)
+
+    def test_neighbor_weights_aligned(self):
+        g = Graph(3, [(0, 1, 2.0), (0, 2, 3.0)])
+        nbrs = g.neighbors(0).tolist()
+        weights = g.neighbor_weights(0).tolist()
+        assert dict(zip(nbrs, weights)) == {1: 2.0, 2: 3.0}
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(2, 3)
+        assert not tiny_graph.has_edge(0, 5)
+        assert not tiny_graph.has_edge(0, 99)
+
+    def test_edge_weight_absent(self, tiny_graph):
+        assert tiny_graph.edge_weight(0, 5) == 0.0
+
+    def test_edges_canonical_order(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        edges = list(g.edges())
+        assert all(u <= v for u, v, _ in edges)
+
+    def test_density(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert np.isclose(g.density, 2 * 2 / (4 * 3))
+
+    def test_density_ignores_self_loops(self):
+        g = Graph(3, [(0, 0), (0, 1)])
+        assert np.isclose(g.density, 2 * 1 / (3 * 2))
+
+    def test_density_tiny(self):
+        assert Graph(1).density == 0.0
+
+
+class TestMatrices:
+    def test_adjacency_symmetric(self, tiny_graph):
+        a = tiny_graph.adjacency_matrix()
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_adjacency_values(self):
+        g = Graph(2, [(0, 1, 2.0)])
+        a = g.adjacency_matrix()
+        assert a[0, 1] == 2.0 and a[1, 0] == 2.0
+
+    def test_adjacency_self_loop_once(self):
+        g = Graph(1, [(0, 0, 2.0)])
+        assert g.adjacency_matrix()[0, 0] == 2.0
+
+    def test_sparse_matches_dense(self, tiny_graph):
+        dense = tiny_graph.adjacency_matrix()
+        sparse = tiny_graph.sparse_adjacency().toarray()
+        np.testing.assert_allclose(dense, sparse)
+
+    def test_modularity_matrix_rows_sum_zero(self, tiny_graph):
+        b = tiny_graph.modularity_matrix()
+        np.testing.assert_allclose(b.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_modularity_matrix_self_loop_doubled(self):
+        g = Graph(2, [(0, 0, 1.0), (0, 1, 1.0)])
+        b = g.modularity_matrix()
+        # A_ii = 2w = 2; degree d_0 = 3, 2m = 4.
+        assert np.isclose(b[0, 0], 2.0 - 9.0 / 4.0)
+
+
+class TestStructure:
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+
+    def test_single_component(self, clique_ring):
+        graph, _ = clique_ring
+        assert len(graph.connected_components()) == 1
+
+    def test_subgraph(self, tiny_graph):
+        sub, nodes = tiny_graph.subgraph([0, 1, 2])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 3  # the triangle
+        np.testing.assert_array_equal(nodes, [0, 1, 2])
+
+    def test_subgraph_relabels(self, tiny_graph):
+        sub, nodes = tiny_graph.subgraph([3, 4, 5])
+        assert sub.n_edges == 3
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_rejects_duplicates(self, tiny_graph):
+        with pytest.raises(GraphError, match="unique"):
+            tiny_graph.subgraph([0, 0])
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self, tiny_graph):
+        nx_graph = tiny_graph.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == tiny_graph
+
+    def test_from_networkx_weights(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=2.0)
+        graph = Graph.from_networkx(g)
+        assert graph.total_weight == 2.0
+
+    def test_equality(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(1, 0)])
+        assert a == b
+
+    def test_inequality(self):
+        assert Graph(2, [(0, 1)]) != Graph(2, [])
+
+    def test_repr(self, tiny_graph):
+        assert "n_nodes=6" in repr(tiny_graph)

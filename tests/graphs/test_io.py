@@ -1,0 +1,87 @@
+"""Tests for edge-list IO."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestReadEdgeList:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% other comment\n0 1\n")
+        assert read_edge_list(path).n_edges == 1
+
+    def test_string_ids_relabelled(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = read_edge_list(path)
+        assert g.n_nodes == 3
+
+    def test_first_appearance_order(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("5 9\n9 2\n")
+        g = read_edge_list(path)
+        # 5 -> 0, 9 -> 1, 2 -> 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_weighted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.5\n")
+        g = read_edge_list(path, weighted=True)
+        assert g.total_weight == 2.5
+
+    def test_weighted_missing_column_defaults(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, weighted=True)
+        assert g.total_weight == 1.0
+
+    def test_unweighted_ignores_third_column(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 7.0\n")
+        g = read_edge_list(path, weighted=False)
+        assert g.total_weight == 1.0
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("loner\n")
+        with pytest.raises(GraphError, match="two columns"):
+            read_edge_list(path)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphError, match="bad weight"):
+            read_edge_list(path, weighted=True)
+
+
+class TestWriteEdgeList:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        back = read_edge_list(path)
+        assert back.n_nodes == tiny_graph.n_nodes
+        assert back.n_edges == tiny_graph.n_edges
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = Graph(3, [(0, 1, 2.5), (1, 2, 0.125)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, weighted=True)
+        back = read_edge_list(path, weighted=True)
+        assert back.edge_weight(0, 1) == 2.5
+        assert back.edge_weight(1, 2) == 0.125
+
+    def test_header_comment_present(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        assert path.read_text().startswith("#")

@@ -1,0 +1,60 @@
+"""Tests for the LFR-style benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.community.modularity import modularity
+from repro.graphs.lfr import lfr_graph
+
+
+class TestLfrGraph:
+    def test_node_count(self):
+        graph, labels = lfr_graph(150, seed=0)
+        assert graph.n_nodes == 150
+        assert len(labels) == 150
+
+    def test_reproducible(self):
+        a, la = lfr_graph(120, seed=3)
+        b, lb = lfr_graph(120, seed=3)
+        assert a == b
+        np.testing.assert_array_equal(la, lb)
+
+    def test_community_sizes_respect_minimum(self):
+        _, labels = lfr_graph(200, min_community=15, seed=1)
+        _, counts = np.unique(labels, return_counts=True)
+        assert counts.min() >= 15
+
+    def test_mixing_controls_structure(self):
+        low, labels_low = lfr_graph(200, mixing=0.05, seed=2)
+        high, labels_high = lfr_graph(200, mixing=0.6, seed=2)
+        assert modularity(low, labels_low) > modularity(high, labels_high)
+
+    def test_low_mixing_gives_high_modularity(self):
+        graph, labels = lfr_graph(200, mixing=0.08, seed=4)
+        assert modularity(graph, labels) > 0.4
+
+    def test_degree_heterogeneity(self):
+        graph, _ = lfr_graph(300, degree_exponent=2.2, seed=5)
+        degrees = np.asarray(graph.degrees)
+        assert degrees.max() > 3 * degrees.mean()
+
+    def test_average_degree_approx(self):
+        target = 10.0
+        graph, _ = lfr_graph(300, average_degree=target, seed=6)
+        mean_degree = np.asarray(graph.degrees).mean()
+        # Stub pairing + dedup loses some edges; allow a broad band.
+        assert 0.4 * target < mean_degree < 1.6 * target
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            lfr_graph(10, min_community=10)
+
+    def test_detectable_by_louvain(self):
+        from repro.community.louvain import louvain
+        from repro.community.metrics import (
+            normalized_mutual_information,
+        )
+
+        graph, truth = lfr_graph(200, mixing=0.08, seed=7)
+        found = louvain(graph)
+        assert normalized_mutual_information(found, truth) > 0.6

@@ -1,0 +1,88 @@
+"""Tests for position grids and discrete Laplacians."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.hamiltonian.grid import (
+    PositionGrid,
+    dirichlet_laplacian,
+    laplacian_eigensystem,
+)
+
+
+class TestPositionGrid:
+    def test_points_interior(self):
+        grid = PositionGrid(3)
+        np.testing.assert_allclose(grid.points, [0.25, 0.5, 0.75])
+
+    def test_spacing(self):
+        assert PositionGrid(4).spacing == 0.2
+
+    def test_custom_interval(self):
+        grid = PositionGrid(3, lower=-1.0, upper=1.0)
+        np.testing.assert_allclose(grid.points, [-0.5, 0.0, 0.5])
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            PositionGrid(1)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(SimulationError):
+            PositionGrid(4, lower=1.0, upper=0.0)
+
+
+class TestDirichletLaplacian:
+    def test_tridiagonal_structure(self):
+        lap = dirichlet_laplacian(4, 0.5)
+        inv_h2 = 4.0
+        assert np.allclose(np.diag(lap), -2 * inv_h2)
+        assert np.allclose(np.diag(lap, 1), inv_h2)
+        assert lap[0, 2] == 0.0
+
+    def test_negative_semidefinite(self):
+        lap = dirichlet_laplacian(8, 0.1)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.max() < 0  # strictly negative with Dirichlet
+
+    def test_second_derivative_of_quadratic(self):
+        # L applied to x^2 gives ~2 away from the boundary.
+        n, h = 50, 1.0 / 51
+        grid = PositionGrid(n)
+        lap = dirichlet_laplacian(n, h)
+        values = grid.points**2
+        interior = (lap @ values)[5:-5]
+        np.testing.assert_allclose(interior, 2.0, rtol=1e-6)
+
+
+class TestLaplacianEigensystem:
+    def test_orthonormal_modes(self):
+        _, modes = laplacian_eigensystem(12, 0.05)
+        np.testing.assert_allclose(
+            modes @ modes.T, np.eye(12), atol=1e-12
+        )
+
+    def test_modes_symmetric_matrix(self):
+        _, modes = laplacian_eigensystem(9, 0.1)
+        np.testing.assert_allclose(modes, modes.T, atol=1e-12)
+
+    def test_eigen_equation(self):
+        n, h = 10, 1.0 / 11
+        energies, modes = laplacian_eigensystem(n, h)
+        kinetic = -0.5 * dirichlet_laplacian(n, h)
+        for k in range(n):
+            np.testing.assert_allclose(
+                kinetic @ modes[:, k],
+                energies[k] * modes[:, k],
+                atol=1e-9,
+            )
+
+    def test_energies_sorted_nonnegative(self):
+        energies, _ = laplacian_eigensystem(16, 0.05)
+        assert energies.min() > 0
+        assert np.all(np.diff(energies) > 0)
+
+    def test_continuum_limit(self):
+        # Lowest eigenvalue of -1/2 d^2/dx^2 on [0,1] is pi^2/2.
+        energies, _ = laplacian_eigensystem(400, 1.0 / 401)
+        assert np.isclose(energies[0], np.pi**2 / 2, rtol=1e-4)

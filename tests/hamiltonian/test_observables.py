@@ -1,0 +1,109 @@
+"""Tests for wavefunction observables."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.hamiltonian.grid import PositionGrid
+from repro.hamiltonian.observables import (
+    normalize,
+    norms,
+    position_expectations,
+    probability_densities,
+    sample_positions,
+)
+
+
+@pytest.fixture
+def grid():
+    return PositionGrid(16)
+
+
+def delta_state(grid, index):
+    psi = np.zeros(grid.n_points, dtype=complex)
+    psi[index] = 1.0
+    return psi
+
+
+class TestNorms:
+    def test_unit_after_normalize(self, grid):
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=(3, 4, 16)) + 1j * rng.normal(size=(3, 4, 16))
+        out = normalize(psi, grid.spacing)
+        np.testing.assert_allclose(
+            norms(out, grid.spacing), 1.0, atol=1e-12
+        )
+
+    def test_zero_state_rejected(self, grid):
+        with pytest.raises(SimulationError, match="collapsed"):
+            normalize(np.zeros((1, 16), dtype=complex), grid.spacing)
+
+    def test_nan_rejected(self, grid):
+        psi = np.full((1, 16), np.nan, dtype=complex)
+        with pytest.raises(SimulationError, match="non-finite"):
+            normalize(psi, grid.spacing)
+
+
+class TestProbabilityDensities:
+    def test_sums_to_one(self, grid):
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=(5, 16)) + 1j * rng.normal(size=(5, 16))
+        prob = probability_densities(psi, grid.spacing)
+        np.testing.assert_allclose(prob.sum(axis=-1), 1.0)
+
+    def test_delta_state(self, grid):
+        prob = probability_densities(delta_state(grid, 3), grid.spacing)
+        assert prob[3] == 1.0
+
+
+class TestPositionExpectations:
+    def test_delta_state_gives_point(self, grid):
+        mu = position_expectations(
+            delta_state(grid, 5), grid.points, grid.spacing
+        )
+        assert np.isclose(mu, grid.points[5])
+
+    def test_symmetric_state_gives_center(self, grid):
+        psi = np.ones(grid.n_points, dtype=complex)
+        mu = position_expectations(psi, grid.points, grid.spacing)
+        assert np.isclose(mu, 0.5)
+
+    def test_batch_shape(self, grid):
+        psi = np.ones((4, 7, grid.n_points), dtype=complex)
+        mu = position_expectations(psi, grid.points, grid.spacing)
+        assert mu.shape == (4, 7)
+
+
+class TestSamplePositions:
+    def test_delta_state_deterministic(self, grid):
+        samples = sample_positions(
+            delta_state(grid, 8), grid.points, grid.spacing, seed=0
+        )
+        assert samples == grid.points[8]
+
+    def test_reproducible(self, grid):
+        rng_state = np.random.default_rng(3)
+        psi = rng_state.normal(size=(6, grid.n_points)) + 0j
+        a = sample_positions(psi, grid.points, grid.spacing, seed=5)
+        b = sample_positions(psi, grid.points, grid.spacing, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distribution_matches_probabilities(self, grid):
+        # Two-point state with 80/20 mass split.
+        psi = np.zeros(grid.n_points, dtype=complex)
+        psi[2] = np.sqrt(0.8)
+        psi[10] = np.sqrt(0.2)
+        draws = np.array(
+            [
+                sample_positions(psi, grid.points, grid.spacing, seed=i)
+                for i in range(500)
+            ]
+        )
+        frac_heavy = np.mean(np.isclose(draws, grid.points[2]))
+        assert 0.7 < frac_heavy < 0.9
+
+    def test_samples_are_grid_points(self, grid):
+        rng_state = np.random.default_rng(4)
+        psi = rng_state.normal(size=grid.n_points) + 0j
+        value = sample_positions(psi, grid.points, grid.spacing, seed=1)
+        assert np.any(np.isclose(grid.points, value))

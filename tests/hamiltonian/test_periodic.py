@@ -1,0 +1,125 @@
+"""Tests for the periodic (FFT) kinetic propagator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError, SolverError
+from repro.hamiltonian.periodic import PeriodicGrid, PeriodicKineticPropagator
+from repro.qhd.solver import QhdSolver
+from repro.qubo.random_instances import random_qubo
+
+
+class TestPeriodicGrid:
+    def test_points(self):
+        grid = PeriodicGrid(4)
+        np.testing.assert_allclose(grid.points, [0.0, 0.25, 0.5, 0.75])
+        assert grid.spacing == 0.25
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            PeriodicGrid(1)
+
+
+class TestPeriodicKineticPropagator:
+    def test_unitary(self):
+        prop = PeriodicKineticPropagator(32, 1.0 / 32)
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=32) + 1j * rng.normal(size=32)
+        psi /= np.linalg.norm(psi)
+        out = prop.apply(psi, dt=0.05, kinetic_scale=1.3)
+        assert np.isclose(np.linalg.norm(out), 1.0, atol=1e-12)
+
+    def test_uniform_state_is_ground_state(self):
+        prop = PeriodicKineticPropagator(16, 1.0 / 16)
+        psi = np.ones(16, dtype=complex) / 4.0
+        out = prop.apply(psi, dt=0.2, kinetic_scale=2.0)
+        np.testing.assert_allclose(out, psi, atol=1e-12)
+
+    def test_plane_wave_pure_phase(self):
+        n = 16
+        prop = PeriodicKineticPropagator(n, 1.0 / n)
+        k = 3
+        j = np.arange(n)
+        psi = np.exp(2j * np.pi * k * j / n) / np.sqrt(n)
+        dt, scale = 0.07, 1.1
+        out = prop.apply(psi, dt, scale)
+        h = 1.0 / n
+        energy = (2.0 / h**2) * np.sin(np.pi * k / n) ** 2
+        expected = psi * np.exp(-1j * scale * dt * energy)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_zero_dt_identity(self):
+        prop = PeriodicKineticPropagator(8, 0.125)
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=8) + 0j
+        np.testing.assert_allclose(
+            prop.apply(psi, 0.0, 1.0), psi, atol=1e-14
+        )
+
+    def test_batched(self):
+        prop = PeriodicKineticPropagator(8, 0.125)
+        rng = np.random.default_rng(2)
+        batch = rng.normal(size=(3, 5, 8)) + 0j
+        out = prop.apply(batch, 0.03, 1.0)
+        assert out.shape == batch.shape
+        single = prop.apply(batch[1, 2], 0.03, 1.0)
+        np.testing.assert_allclose(out[1, 2], single, atol=1e-12)
+
+    def test_wrong_size(self):
+        prop = PeriodicKineticPropagator(8, 0.125)
+        with pytest.raises(SimulationError):
+            prop.apply(np.zeros(5, dtype=complex), 0.1, 1.0)
+
+    def test_matches_dirichlet_away_from_walls(self):
+        """Both discretisations evolve an interior wavepacket alike."""
+        from repro.hamiltonian.grid import PositionGrid
+        from repro.hamiltonian.propagator import KineticPropagator
+
+        n = 64
+        dirichlet_grid = PositionGrid(n)
+        dirichlet = KineticPropagator(n, dirichlet_grid.spacing)
+        periodic = PeriodicKineticPropagator(n, 1.0 / n)
+
+        x_d = dirichlet_grid.points
+        x_p = PeriodicGrid(n).points
+        packet_d = np.exp(-((x_d - 0.5) ** 2) / (2 * 0.05**2)) + 0j
+        packet_p = np.exp(-((x_p - 0.5) ** 2) / (2 * 0.05**2)) + 0j
+        packet_d /= np.linalg.norm(packet_d)
+        packet_p /= np.linalg.norm(packet_p)
+
+        for _ in range(20):
+            packet_d = dirichlet.apply(packet_d, 5e-5, 1.0)
+            packet_p = periodic.apply(packet_p, 5e-5, 1.0)
+        # The two grids are offset by one spacing; interpolate the
+        # periodic density onto the Dirichlet points before comparing.
+        density_d = np.abs(packet_d) ** 2
+        density_p = np.interp(x_d, x_p, np.abs(packet_p) ** 2)
+        assert np.corrcoef(density_d, density_p)[0, 1] > 0.999
+
+
+class TestQhdPeriodicBoundary:
+    def test_solves_optimum(self):
+        model = random_qubo(10, 0.4, seed=5)
+        _, best = model.brute_force_minimum()
+        result = QhdSolver(
+            n_samples=10,
+            n_steps=60,
+            grid_points=16,
+            boundary="periodic",
+            seed=0,
+        ).solve(model)
+        assert np.isclose(result.energy, best, atol=1e-9)
+
+    def test_rejects_unknown_boundary(self):
+        with pytest.raises(SolverError):
+            QhdSolver(boundary="neumann")
+
+    def test_reproducible(self):
+        model = random_qubo(8, 0.5, seed=6)
+        a = QhdSolver(
+            n_samples=6, n_steps=40, boundary="periodic", seed=3
+        ).solve(model)
+        b = QhdSolver(
+            n_samples=6, n_steps=40, boundary="periodic", seed=3
+        ).solve(model)
+        assert a.energy == b.energy

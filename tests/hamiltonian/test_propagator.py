@@ -1,0 +1,149 @@
+"""Physics validation of the split-operator propagator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.hamiltonian.grid import PositionGrid, laplacian_eigensystem
+from repro.hamiltonian.observables import normalize, norms
+from repro.hamiltonian.propagator import (
+    KineticPropagator,
+    potential_phase,
+    strang_step,
+)
+
+
+@pytest.fixture
+def grid():
+    return PositionGrid(32)
+
+
+@pytest.fixture
+def propagator(grid):
+    return KineticPropagator(grid.n_points, grid.spacing)
+
+
+def gaussian_packet(grid, center=0.5, width=0.1, momentum=0.0):
+    x = grid.points
+    psi = np.exp(-((x - center) ** 2) / (2 * width**2)) * np.exp(
+        1j * momentum * x
+    )
+    return normalize(psi[None, :], grid.spacing)[0]
+
+
+class TestKineticPropagator:
+    def test_unitary(self, grid, propagator):
+        psi = gaussian_packet(grid)
+        evolved = propagator.apply(psi, dt=0.01, kinetic_scale=1.0)
+        assert np.isclose(
+            norms(evolved[None, :], grid.spacing)[0], 1.0, atol=1e-12
+        )
+
+    def test_eigenstate_gets_pure_phase(self, grid, propagator):
+        k = 2
+        mode = propagator.modes[:, k].astype(np.complex128)
+        dt, scale = 0.05, 1.3
+        evolved = propagator.apply(mode, dt, scale)
+        expected = mode * np.exp(-1j * scale * dt * propagator.energies[k])
+        np.testing.assert_allclose(evolved, expected, atol=1e-12)
+
+    def test_zero_dt_is_identity(self, grid, propagator):
+        psi = gaussian_packet(grid, momentum=5.0)
+        evolved = propagator.apply(psi, dt=0.0, kinetic_scale=1.0)
+        np.testing.assert_allclose(evolved, psi, atol=1e-14)
+
+    def test_batched_application(self, grid, propagator):
+        batch = np.stack(
+            [gaussian_packet(grid, 0.3), gaussian_packet(grid, 0.7)]
+        ).reshape(2, 1, -1)
+        evolved = propagator.apply(batch, dt=0.02, kinetic_scale=1.0)
+        assert evolved.shape == batch.shape
+        single = propagator.apply(batch[0, 0], dt=0.02, kinetic_scale=1.0)
+        np.testing.assert_allclose(evolved[0, 0], single, atol=1e-13)
+
+    def test_wavepacket_spreads(self, grid, propagator):
+        psi = gaussian_packet(grid, width=0.05)
+        x = grid.points
+        evolved = psi.copy()
+        for _ in range(50):
+            evolved = propagator.apply(evolved, dt=2e-4, kinetic_scale=1.0)
+        def variance(p):
+            prob = np.abs(p) ** 2
+            prob = prob / prob.sum()
+            mean = prob @ x
+            return prob @ (x - mean) ** 2
+        assert variance(evolved) > variance(psi)
+
+    def test_wrong_grid_size(self, propagator):
+        with pytest.raises(SimulationError):
+            propagator.apply(np.zeros(5, dtype=complex), 0.1, 1.0)
+
+
+class TestPotentialPhase:
+    def test_unit_modulus(self):
+        phase = potential_phase(np.linspace(0, 5, 11), 0.3, 2.0)
+        np.testing.assert_allclose(np.abs(phase), 1.0)
+
+    def test_value(self):
+        phase = potential_phase(np.array([2.0]), 0.5, 3.0)
+        assert np.isclose(phase[0], np.exp(-1j * 3.0))
+
+
+class TestStrangStep:
+    def test_norm_conserved(self, grid, propagator):
+        psi = gaussian_packet(grid)
+        potential = grid.points**2
+        for _ in range(100):
+            psi = strang_step(psi, potential, propagator, 0.01, 1.0, 1.0)
+        assert np.isclose(
+            norms(psi[None, :], grid.spacing)[0], 1.0, atol=1e-9
+        )
+
+    def test_ground_state_stationary(self, grid, propagator):
+        """The exact H eigenstate only picks up a global phase."""
+        kinetic = (
+            propagator.modes
+            @ np.diag(propagator.energies)
+            @ propagator.modes
+        )
+        potential = 30.0 * (grid.points - 0.5) ** 2
+        hamiltonian = kinetic + np.diag(potential)
+        _, vectors = np.linalg.eigh(hamiltonian)
+        psi0 = normalize(
+            vectors[:, 0].astype(complex)[None, :], grid.spacing
+        )[0]
+
+        psi = psi0.copy()
+        n_steps = 400
+        for _ in range(n_steps):
+            psi = strang_step(psi, potential, propagator, 2.5e-3, 1.0, 1.0)
+        overlap = abs(np.vdot(psi0, psi)) * grid.spacing
+        assert overlap > 0.999
+
+    def test_second_order_convergence(self, grid, propagator):
+        """Strang splitting error decays at (at least) second order."""
+        potential = 10.0 * (grid.points - 0.4) ** 2
+        psi0 = gaussian_packet(grid, 0.45, 0.12)
+        total_time = 0.2
+
+        def evolve(n_steps):
+            psi = psi0.copy()
+            dt = total_time / n_steps
+            for _ in range(n_steps):
+                psi = strang_step(psi, potential, propagator, dt, 1.0, 1.0)
+            return psi
+
+        reference = evolve(4096)
+        steps = np.array([32, 64, 128, 256])
+        errors = np.array(
+            [np.linalg.norm(evolve(n) - reference) for n in steps]
+        )
+        # Fit the empirical order p in error ~ dt^p.
+        slope, _ = np.polyfit(np.log(1.0 / steps), np.log(errors), 1)
+        assert slope > 1.7  # at least second order up to noise
+
+    def test_does_not_mutate_input(self, grid, propagator):
+        psi = gaussian_packet(grid)
+        copy = psi.copy()
+        strang_step(psi, grid.points, propagator, 0.01, 1.0, 1.0)
+        np.testing.assert_array_equal(psi, copy)

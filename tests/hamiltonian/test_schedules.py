@@ -1,0 +1,108 @@
+"""Tests for QHD time-dependence schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.hamiltonian.schedules import (
+    ExponentialSchedule,
+    LinearSchedule,
+    QhdDefaultSchedule,
+    available_schedules,
+    get_schedule,
+)
+
+
+ALL_NAMES = ["qhd-default", "linear", "exponential"]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_known_names(self, name):
+        schedule = get_schedule(name, 2.0)
+        assert schedule.t_final == 2.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ScheduleError, match="unknown schedule"):
+            get_schedule("nope", 1.0)
+
+    def test_available_sorted(self):
+        assert available_schedules() == sorted(ALL_NAMES)
+
+    def test_kwargs_forwarded(self):
+        schedule = get_schedule("qhd-default", 1.0, gamma=5.0)
+        assert schedule.gamma == 5.0
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_positive_everywhere(self, name):
+        schedule = get_schedule(name, 1.0)
+        for t in np.linspace(0.0, 1.0, 21):
+            assert schedule.kinetic(t) > 0
+            assert schedule.potential(t) > 0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_kinetic_decreases(self, name):
+        schedule = get_schedule(name, 1.0)
+        ts = np.linspace(0.0, 1.0, 11)
+        values = [schedule.kinetic(t) for t in ts]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_potential_increases(self, name):
+        schedule = get_schedule(name, 1.0)
+        ts = np.linspace(0.0, 1.0, 11)
+        values = [schedule.potential(t) for t in ts]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_crossover(self, name):
+        """Kinetic dominates at t=0; potential dominates at t_final."""
+        schedule = get_schedule(name, 1.0)
+        assert schedule.kinetic(0.0) > schedule.potential(0.0)
+        assert schedule.potential(1.0) > schedule.kinetic(1.0)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_out_of_range_rejected(self, name):
+        schedule = get_schedule(name, 1.0)
+        with pytest.raises(ScheduleError):
+            schedule.kinetic(-0.1)
+        with pytest.raises(ScheduleError):
+            schedule.potential(1.5)
+
+    def test_t_final_tolerance(self):
+        schedule = get_schedule("linear", 1.0)
+        # A hair over t_final from floating-point accumulation is fine.
+        assert schedule.kinetic(1.0 + 1e-12) > 0
+
+
+class TestQhdDefault:
+    def test_three_phase_ratio(self):
+        schedule = QhdDefaultSchedule(1.0, gamma=2.0, epsilon=1e-2)
+        early = schedule.kinetic(0.01) / schedule.potential(0.01)
+        late = schedule.kinetic(0.99) / schedule.potential(0.99)
+        assert early > 1e3
+        assert late < 1.0
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            QhdDefaultSchedule(1.0, gamma=-1.0)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        schedule = LinearSchedule(1.0, scale=10.0, floor=1e-3)
+        assert np.isclose(schedule.kinetic(0.0), 1.0 + 1e-3)
+        assert np.isclose(schedule.potential(1.0), 10.0 + 1e-3)
+
+
+class TestExponential:
+    def test_endpoints(self):
+        schedule = ExponentialSchedule(1.0, rate=6.0, scale=10.0)
+        assert np.isclose(schedule.kinetic(0.0), 1.0)
+        assert np.isclose(schedule.potential(1.0), 10.0)
+
+    def test_monotone_rate(self):
+        schedule = ExponentialSchedule(2.0, rate=3.0)
+        assert schedule.kinetic(2.0) == pytest.approx(np.exp(-3.0))

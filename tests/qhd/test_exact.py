@@ -1,0 +1,96 @@
+"""Tests for the exact QHD reference simulators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.hamiltonian.grid import PositionGrid
+from repro.hamiltonian.observables import norms
+from repro.hamiltonian.schedules import QhdDefaultSchedule
+from repro.qhd.exact import ExactQhd1D, ExactQuboQhd
+from repro.qubo.model import QuboModel
+from repro.qubo.random_instances import random_qubo
+
+
+class TestExactQhd1D:
+    def test_ground_state_is_eigenstate(self):
+        grid = PositionGrid(24)
+        potential = 40.0 * (grid.points - 0.5) ** 2
+        sim = ExactQhd1D(grid, potential)
+        psi0 = sim.ground_state()
+        evolved = sim.evolve_static(psi0, n_steps=200, total_time=0.5)
+        overlap = abs(np.vdot(psi0, evolved)) * grid.spacing
+        assert overlap > 0.999
+
+    def test_unitary_evolution(self):
+        grid = PositionGrid(20)
+        sim = ExactQhd1D(grid, np.zeros(20))
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=20) + 1j * rng.normal(size=20)
+        psi /= norms(psi[None, :], grid.spacing)[0]
+        out = sim.evolve_static(psi, n_steps=100, total_time=1.0)
+        assert np.isclose(
+            norms(out[None, :], grid.spacing)[0], 1.0, atol=1e-9
+        )
+
+    def test_qhd_schedule_localises_at_minimum(self):
+        """Full QHD run concentrates mass near the potential minimum."""
+        grid = PositionGrid(32)
+        minimum = 0.7
+        potential = 20.0 * (grid.points - minimum) ** 2
+        sim = ExactQhd1D(grid, potential)
+        psi0 = np.sin(np.pi * np.arange(1, 33) / 33).astype(complex)
+        psi0 /= norms(psi0[None, :], grid.spacing)[0]
+        schedule = QhdDefaultSchedule(3.0, gamma=2.0)
+        out = sim.evolve(psi0, schedule, n_steps=600)
+        prob = np.abs(out) ** 2
+        mean_x = (prob / prob.sum()) @ grid.points
+        assert abs(mean_x - minimum) < 0.15
+
+    def test_wrong_potential_shape(self):
+        grid = PositionGrid(8)
+        with pytest.raises(SimulationError):
+            ExactQhd1D(grid, np.zeros(5))
+
+
+class TestExactQuboQhd:
+    def test_two_variable_optimum(self, small_qubo):
+        x, energy = ExactQuboQhd(grid_points=16, n_steps=80).solve(
+            small_qubo
+        )
+        assert energy == -1.0
+
+    def test_matches_brute_force_on_random(self):
+        hits = 0
+        for seed in range(5):
+            model = random_qubo(3, 1.0, seed=seed)
+            _, best = model.brute_force_minimum()
+            _, energy = ExactQuboQhd(
+                grid_points=12, n_steps=150, t_final=2.0
+            ).solve(model)
+            if np.isclose(energy, best, atol=1e-9):
+                hits += 1
+        assert hits >= 4
+
+    def test_rejects_large_models(self):
+        model = random_qubo(5, 0.5, seed=0)
+        with pytest.raises(SimulationError, match="limited"):
+            ExactQuboQhd(max_variables=3).solve(model)
+
+    def test_single_variable(self):
+        model = QuboModel(np.zeros((1, 1)), np.array([-2.0]))
+        x, energy = ExactQuboQhd(grid_points=12, n_steps=80).solve(model)
+        assert x[0] == 1
+        assert energy == -2.0
+
+    def test_relaxed_potential_matches_model(self):
+        model = random_qubo(2, 1.0, seed=3)
+        points = PositionGrid(6).points
+        potential = ExactQuboQhd._relaxed_potential(model, points)
+        assert potential.shape == (6, 6)
+        for i in (0, 3, 5):
+            for j in (1, 2, 4):
+                expected = model.evaluate(
+                    np.array([points[i], points[j]])
+                )
+                assert np.isclose(potential[i, j], expected)

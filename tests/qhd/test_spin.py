@@ -1,0 +1,115 @@
+"""Tests for the exact spin-space QHD simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.qhd.spin import SpinQhdSimulator
+from repro.qhd.solver import QhdSolver
+from repro.qubo.model import QuboModel
+from repro.qubo.random_instances import random_qubo
+from repro.solvers.bruteforce import BruteForceSolver
+
+
+class TestSpinQhd:
+    def test_two_variable_optimum(self, small_qubo):
+        x, energy = SpinQhdSimulator(n_steps=200).solve(small_qubo)
+        assert energy == -1.0
+        assert x.sum() == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        model = random_qubo(8, 0.5, seed=seed)
+        _, best = model.brute_force_minimum()
+        _, energy = SpinQhdSimulator(n_steps=300, t_final=2.0).solve(model)
+        assert np.isclose(energy, best, atol=1e-9)
+
+    def test_distribution_normalised(self, random_qubo_12):
+        probabilities, energies = SpinQhdSimulator(
+            n_steps=100
+        ).final_distribution(random_qubo_12)
+        assert np.isclose(probabilities.sum(), 1.0)
+        assert len(probabilities) == 2**12
+        assert len(energies) == 2**12
+
+    def test_distribution_concentrates_on_low_energy(self):
+        model = random_qubo(8, 0.5, seed=3)
+        probabilities, energies = SpinQhdSimulator(
+            n_steps=300, t_final=2.0
+        ).final_distribution(model)
+        # Probability-weighted energy far below the uniform average.
+        mean_energy = float(probabilities @ energies)
+        assert mean_energy < energies.mean() - 0.25 * energies.std()
+
+    def test_sampling(self):
+        model = random_qubo(6, 0.5, seed=4)
+        xs, energies = SpinQhdSimulator(n_steps=200, seed=0).sample(
+            model, n_shots=16
+        )
+        assert xs.shape == (16, 6)
+        recomputed = model.evaluate_batch(xs.astype(float))
+        np.testing.assert_allclose(energies, recomputed)
+
+    def test_sampling_reproducible(self):
+        model = random_qubo(6, 0.5, seed=5)
+        a, _ = SpinQhdSimulator(n_steps=100, seed=7).sample(model, 8)
+        b, _ = SpinQhdSimulator(n_steps=100, seed=7).sample(model, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_size_cap(self):
+        model = random_qubo(20, 0.2, seed=6)
+        with pytest.raises(SimulationError, match="limited"):
+            SpinQhdSimulator(max_variables=16).solve(model)
+
+    def test_energies_ordering_convention(self):
+        # x = (1, 0) is index 0b10 = 2 in the tensor layout.
+        model = QuboModel(np.zeros((2, 2)), np.array([1.0, 10.0]))
+        energies = SpinQhdSimulator._all_energies(model)
+        assert energies[0b10] == 1.0
+        assert energies[0b01] == 10.0
+        assert energies[0b11] == 11.0
+
+    def test_transverse_field_unitary(self):
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=(2, 2, 2)) + 1j * rng.normal(size=(2, 2, 2))
+        psi = psi / np.linalg.norm(psi)
+        out = SpinQhdSimulator._apply_transverse_field(psi, 0.37)
+        assert np.isclose(np.linalg.norm(out), 1.0, atol=1e-12)
+
+    def test_transverse_field_matches_matrix(self):
+        """Axis-flip implementation equals the dense matrix exponential."""
+        from scipy.linalg import expm
+
+        n = 3
+        dim = 2**n
+        x_gate = np.array([[0.0, 1.0], [1.0, 0.0]])
+        total = np.zeros((dim, dim))
+        for i in range(n):
+            op = np.eye(1)
+            for j in range(n):
+                op = np.kron(op, x_gate if j == i else np.eye(2))
+            total += op
+        theta = 0.29
+        dense = expm(1j * theta * total)
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        psi = psi / np.linalg.norm(psi)
+        expected = dense @ psi
+        actual = SpinQhdSimulator._apply_transverse_field(
+            psi.reshape((2,) * n), theta
+        ).reshape(-1)
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+    def test_agrees_with_mean_field_on_easy_instances(self):
+        """Both QHD implementations find the same optimum when it's clear."""
+        for seed in range(3):
+            model = random_qubo(6, 0.6, seed=10 + seed)
+            _, spin_energy = SpinQhdSimulator(
+                n_steps=300, t_final=2.0
+            ).solve(model)
+            mean_field = QhdSolver(
+                n_samples=12, n_steps=80, grid_points=12, seed=seed
+            ).solve(model)
+            exact = BruteForceSolver().solve(model)
+            assert np.isclose(spin_energy, exact.energy, atol=1e-9)
+            assert np.isclose(mean_field.energy, exact.energy, atol=1e-9)

@@ -1,0 +1,113 @@
+"""Tests for QUBO bitstring decoding and repair."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuboError
+from repro.graphs.graph import Graph
+from repro.qubo.builders import VariableMap
+from repro.qubo.decode import (
+    assignment_violations,
+    decode_assignment,
+    labels_to_one_hot,
+)
+
+
+class TestLabelsToOneHot:
+    def test_roundtrip(self):
+        labels = np.array([2, 0, 1, 1])
+        x = labels_to_one_hot(labels, 3)
+        vm = VariableMap(4, 3)
+        decoded = decode_assignment(x, vm)
+        np.testing.assert_array_equal(decoded, labels)
+
+    def test_shape(self):
+        x = labels_to_one_hot(np.array([0, 1]), 2)
+        assert x.shape == (4,)
+        assert x.sum() == 2.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QuboError):
+            labels_to_one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(QuboError):
+            labels_to_one_hot(np.array([-1]), 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(QuboError):
+            labels_to_one_hot(np.zeros((2, 2), dtype=int), 2)
+
+
+class TestAssignmentViolations:
+    def test_clean(self):
+        vm = VariableMap(3, 2)
+        x = labels_to_one_hot(np.array([0, 1, 0]), 2)
+        assert assignment_violations(x, vm) == (0, 0)
+
+    def test_unassigned(self):
+        vm = VariableMap(2, 2)
+        assert assignment_violations(np.zeros(4), vm) == (2, 0)
+
+    def test_multi_assigned(self):
+        vm = VariableMap(2, 2)
+        x = np.array([1.0, 1.0, 1.0, 0.0])
+        assert assignment_violations(x, vm) == (0, 1)
+
+
+class TestDecodeAssignment:
+    def test_clean_rows_decoded_directly(self):
+        vm = VariableMap(2, 3)
+        x = labels_to_one_hot(np.array([2, 1]), 3)
+        np.testing.assert_array_equal(
+            decode_assignment(x, vm), [2, 1]
+        )
+
+    def test_multi_assignment_uses_amplitude_without_graph(self):
+        vm = VariableMap(1, 3)
+        x = np.array([0.9, 0.0, 0.95])  # rounds to communities {0, 2}
+        assert decode_assignment(x, vm)[0] == 2
+
+    def test_unassigned_uses_argmax_without_graph(self):
+        vm = VariableMap(1, 3)
+        x = np.array([0.1, 0.4, 0.3])
+        assert decode_assignment(x, vm)[0] == 1
+
+    def test_neighbor_majority_repair(self):
+        # Path 0-1-2; nodes 0, 2 cleanly in community 1; node 1 unassigned.
+        graph = Graph(3, [(0, 1), (1, 2)])
+        vm = VariableMap(3, 2)
+        x = np.array([0.0, 1.0, 0.0, 0.0, 0.0, 1.0])
+        labels = decode_assignment(x, vm, graph=graph)
+        assert labels[1] == 1
+
+    def test_multi_assigned_follows_neighbors(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        vm = VariableMap(3, 2)
+        # Node 1 claims both communities; neighbours are both community 0.
+        x = np.array([1.0, 0.0, 1.0, 1.0, 1.0, 0.0])
+        labels = decode_assignment(x, vm, graph=graph)
+        assert labels[1] == 0
+
+    def test_weighted_votes(self):
+        graph = Graph(3, [(0, 1, 10.0), (1, 2, 1.0)])
+        vm = VariableMap(3, 2)
+        # Node 1 unassigned; heavy neighbour in community 1, light in 0.
+        x = np.array([0.0, 1.0, 0.0, 0.0, 1.0, 0.0])
+        labels = decode_assignment(x, vm, graph=graph)
+        assert labels[1] == 1
+
+    def test_relaxed_inputs_rounded(self):
+        vm = VariableMap(2, 2)
+        x = np.array([0.9, 0.1, 0.2, 0.8])
+        np.testing.assert_array_equal(
+            decode_assignment(x, vm), [0, 1]
+        )
+
+    def test_all_labels_in_range(self):
+        rng = np.random.default_rng(0)
+        vm = VariableMap(10, 4)
+        for _ in range(10):
+            x = rng.random(40)
+            labels = decode_assignment(x, vm)
+            assert labels.min() >= 0 and labels.max() < 4

@@ -1,0 +1,130 @@
+"""Tests for the Figure 3/4 portfolio generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuboError
+from repro.qubo.analysis import qubo_density
+from repro.qubo.random_instances import (
+    PortfolioGenerator,
+    PortfolioSpec,
+    random_qubo,
+)
+
+
+class TestRandomQubo:
+    def test_shape(self):
+        m = random_qubo(20, 0.2, seed=0)
+        assert m.n_variables == 20
+
+    def test_reproducible(self):
+        a = random_qubo(15, 0.3, seed=4)
+        b = random_qubo(15, 0.3, seed=4)
+        np.testing.assert_allclose(a.coupling, b.coupling)
+        np.testing.assert_allclose(a.effective_linear, b.effective_linear)
+
+    def test_density_roughly_matches(self):
+        m = random_qubo(100, 0.1, seed=1)
+        assert 0.05 < qubo_density(m) < 0.2
+
+    def test_zero_density(self):
+        m = random_qubo(10, 0.0, seed=0)
+        assert qubo_density(m) == 0.0
+
+    def test_full_density(self):
+        m = random_qubo(10, 1.0, seed=0)
+        assert qubo_density(m) == 1.0
+
+    def test_coefficient_scale(self):
+        m = random_qubo(50, 0.5, seed=2, coefficient_scale=10.0)
+        nonzero = m.coupling[m.coupling != 0]
+        assert np.abs(nonzero).mean() > 3.0
+
+
+class TestPortfolioSpec:
+    def test_presets_match_paper(self):
+        small = PortfolioSpec.small_dense()
+        large = PortfolioSpec.large_sparse()
+        assert small.n_instances == 199
+        assert large.n_instances == 739
+        assert small.mean_variables == 54
+        assert large.mean_variables == 614
+        assert np.isclose(small.mean_density, 0.157)
+        assert np.isclose(large.mean_density, 0.028)
+
+    def test_large_sparse_excludes_community(self):
+        assert PortfolioSpec.large_sparse().community_fraction == 0.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(QuboError):
+            PortfolioSpec(
+                n_instances=1,
+                mean_variables=10,
+                min_variables=20,
+                max_variables=10,
+                mean_density=0.1,
+            )
+
+
+class TestPortfolioGenerator:
+    def test_instance_count(self):
+        gen = PortfolioGenerator(seed=0)
+        spec = PortfolioSpec.small_dense(n_instances=5)
+        assert len(gen.generate(spec)) == 5
+
+    def test_sizes_within_bounds(self):
+        gen = PortfolioGenerator(seed=1)
+        spec = PortfolioSpec.small_dense(n_instances=20)
+        for inst in gen.generate(spec):
+            assert (
+                spec.min_variables
+                <= inst.n_variables
+                <= spec.max_variables * 5  # community rounding slack
+            )
+
+    def test_reproducible(self):
+        spec = PortfolioSpec.small_dense(n_instances=4)
+        a = PortfolioGenerator(seed=7).generate(spec)
+        b = PortfolioGenerator(seed=7).generate(spec)
+        for inst_a, inst_b in zip(a, b):
+            assert inst_a.n_variables == inst_b.n_variables
+            np.testing.assert_allclose(
+                inst_a.model.coupling, inst_b.model.coupling
+            )
+
+    def test_metadata_fields(self):
+        gen = PortfolioGenerator(seed=2)
+        spec = PortfolioSpec.small_dense(n_instances=6)
+        for inst in gen.generate(spec):
+            assert inst.family in ("random", "community")
+            assert inst.regime == "small-dense"
+            assert 0.0 <= inst.density <= 1.0
+
+    def test_paper_portfolio_scaling(self):
+        gen = PortfolioGenerator(seed=3)
+        small, large = gen.generate_paper_portfolio(scale=0.02)
+        assert len(small) == round(199 * 0.02)
+        assert len(large) == round(739 * 0.02)
+
+    def test_scale_bounds(self):
+        gen = PortfolioGenerator(seed=4)
+        with pytest.raises(QuboError):
+            gen.generate_paper_portfolio(scale=0.0)
+        with pytest.raises(QuboError):
+            gen.generate_paper_portfolio(scale=1.5)
+
+    def test_large_sparse_all_random(self):
+        gen = PortfolioGenerator(seed=5)
+        spec = PortfolioSpec.large_sparse(n_instances=6)
+        # Keep the test fast by shrinking sizes but keeping the family mix.
+        spec = PortfolioSpec(
+            n_instances=6,
+            mean_variables=60,
+            min_variables=20,
+            max_variables=120,
+            mean_density=spec.mean_density,
+            community_fraction=spec.community_fraction,
+            name=spec.name,
+        )
+        for inst in gen.generate(spec):
+            assert inst.family == "random"

@@ -1,0 +1,150 @@
+"""Tests for the sparse QUBO model."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import QuboError
+from repro.qubo.model import QuboModel
+from repro.qubo.random_instances import random_qubo
+from repro.qubo.sparse import SparseQuboModel
+
+
+@pytest.fixture
+def pair():
+    """A dense model and its sparse twin."""
+    dense = random_qubo(25, 0.15, seed=3)
+    return dense, SparseQuboModel.from_dense(dense)
+
+
+class TestConstruction:
+    def test_from_scipy(self):
+        q = sparse.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        model = SparseQuboModel(q, [-1.0, -1.0])
+        assert model.n_variables == 2
+        assert model.evaluate([1, 0]) == -1.0
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(QuboError):
+            SparseQuboModel(sparse.csr_matrix(np.zeros((2, 3))))
+
+    def test_rejects_bad_linear(self):
+        with pytest.raises(QuboError):
+            SparseQuboModel(sparse.eye(3), [1.0])
+
+    def test_rejects_nan(self):
+        q = sparse.csr_matrix(np.array([[0.0, np.nan], [0.0, 0.0]]))
+        with pytest.raises(QuboError):
+            SparseQuboModel(q)
+
+    def test_diagonal_folded(self):
+        model = SparseQuboModel(sparse.diags([2.0, 3.0]), [1.0, 1.0])
+        np.testing.assert_allclose(model.effective_linear, [3.0, 4.0])
+        assert model.nnz == 0
+
+    def test_symmetrised(self):
+        q = sparse.csr_matrix(np.array([[0.0, 4.0], [0.0, 0.0]]))
+        model = SparseQuboModel(q)
+        assert model.coupling[0, 1] == 2.0
+        assert model.coupling[1, 0] == 2.0
+
+    def test_density(self):
+        dense = random_qubo(40, 0.1, seed=0)
+        model = SparseQuboModel.from_dense(dense)
+        assert 0.02 < model.density() < 0.3
+
+    def test_repr(self, pair):
+        _, sparse_model = pair
+        assert "SparseQuboModel" in repr(sparse_model)
+
+
+class TestEnergyEquivalence:
+    def test_evaluate_matches_dense(self, pair):
+        dense, sparse_model = pair
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.integers(0, 2, size=25).astype(float)
+            assert np.isclose(
+                dense.evaluate(x), sparse_model.evaluate(x)
+            )
+
+    def test_batch_matches_dense(self, pair):
+        dense, sparse_model = pair
+        rng = np.random.default_rng(2)
+        xs = rng.integers(0, 2, size=(12, 25)).astype(float)
+        np.testing.assert_allclose(
+            dense.evaluate_batch(xs), sparse_model.evaluate_batch(xs)
+        )
+
+    def test_local_fields_match(self, pair):
+        dense, sparse_model = pair
+        rng = np.random.default_rng(3)
+        x = rng.random(25)
+        np.testing.assert_allclose(
+            dense.local_fields(x), sparse_model.local_fields(x)
+        )
+
+    def test_local_fields_batch_match(self, pair):
+        dense, sparse_model = pair
+        rng = np.random.default_rng(4)
+        xs = rng.random((6, 25))
+        np.testing.assert_allclose(
+            dense.local_fields_batch(xs),
+            sparse_model.local_fields_batch(xs),
+        )
+
+    def test_flip_deltas_match(self, pair):
+        dense, sparse_model = pair
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 2, size=25).astype(float)
+        np.testing.assert_allclose(
+            dense.flip_deltas(x), sparse_model.flip_deltas(x)
+        )
+        for i in (0, 10, 24):
+            assert np.isclose(
+                dense.flip_delta(x, i), sparse_model.flip_delta(x, i)
+            )
+
+    def test_roundtrip_dense(self, pair):
+        dense, sparse_model = pair
+        back = sparse_model.to_dense()
+        rng = np.random.default_rng(6)
+        x = rng.integers(0, 2, size=25).astype(float)
+        assert np.isclose(dense.evaluate(x), back.evaluate(x))
+
+
+class TestSolversOnSparse:
+    def test_qhd_solves_sparse(self, pair):
+        from repro.qhd.solver import QhdSolver
+
+        dense, sparse_model = pair
+        a = QhdSolver(
+            n_samples=8, n_steps=40, grid_points=12, seed=0
+        ).solve(sparse_model)
+        b = QhdSolver(
+            n_samples=8, n_steps=40, grid_points=12, seed=0
+        ).solve(dense)
+        assert a.energy == b.energy
+
+    def test_bnb_densifies(self, pair):
+        from repro.solvers.branch_and_bound import BranchAndBoundSolver
+
+        dense, sparse_model = pair
+        a = BranchAndBoundSolver(time_limit=5.0).solve(sparse_model)
+        b = BranchAndBoundSolver(time_limit=5.0).solve(dense)
+        assert np.isclose(a.energy, b.energy)
+
+    def test_metaheuristics_match(self, pair):
+        from repro.solvers.simulated_annealing import (
+            SimulatedAnnealingSolver,
+        )
+        from repro.solvers.tabu import TabuSolver
+
+        dense, sparse_model = pair
+        for solver_cls, kwargs in [
+            (SimulatedAnnealingSolver, {"n_sweeps": 40, "seed": 0}),
+            (TabuSolver, {"n_iterations": 200, "seed": 0}),
+        ]:
+            a = solver_cls(**kwargs).solve(sparse_model)
+            b = solver_cls(**kwargs).solve(dense)
+            assert a.energy == b.energy, solver_cls.__name__

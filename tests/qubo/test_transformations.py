@@ -1,0 +1,102 @@
+"""Tests for QUBO <-> Ising conversions."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuboError
+from repro.qubo.model import QuboModel
+from repro.qubo.random_instances import random_qubo
+from repro.qubo.transformations import (
+    IsingModel,
+    bits_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+
+
+class TestIsingModel:
+    def test_symmetrised_zero_diagonal(self):
+        j = np.array([[1.0, 2.0], [0.0, 3.0]])
+        ising = IsingModel(j, np.zeros(2))
+        assert ising.couplings[0, 0] == 0.0
+        assert ising.couplings[0, 1] == ising.couplings[1, 0] == 1.0
+
+    def test_evaluate(self):
+        ising = IsingModel(
+            np.array([[0.0, 1.0], [1.0, 0.0]]), np.array([0.5, -0.5]), 2.0
+        )
+        # s = (+1, -1): s^T J s = 2 * (1 * 1 * -1) = -2; h.s = 1; +offset.
+        assert ising.evaluate(np.array([1, -1])) == -2.0 + 1.0 + 2.0
+
+    def test_rejects_non_spin(self):
+        ising = IsingModel(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(QuboError):
+            ising.evaluate(np.array([0, 1]))
+
+    def test_rejects_wrong_shape(self):
+        ising = IsingModel(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(QuboError):
+            ising.evaluate(np.array([1, 1, -1]))
+
+
+class TestConversions:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_qubo_to_ising_energy_identity(self, seed):
+        model = random_qubo(6, 0.6, seed=seed)
+        ising = qubo_to_ising(model)
+        for bits in itertools.product((0, 1), repeat=6):
+            x = np.asarray(bits, dtype=float)
+            s = 2 * x - 1
+            assert np.isclose(
+                model.evaluate(x), ising.evaluate(s), atol=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip(self, seed):
+        model = random_qubo(5, 0.7, seed=seed)
+        back = ising_to_qubo(qubo_to_ising(model))
+        for bits in itertools.product((0, 1), repeat=5):
+            x = np.asarray(bits, dtype=float)
+            assert np.isclose(
+                model.evaluate(x), back.evaluate(x), atol=1e-9
+            )
+
+    def test_ising_to_qubo_identity(self):
+        rng = np.random.default_rng(0)
+        j = rng.normal(size=(4, 4))
+        h = rng.normal(size=4)
+        ising = IsingModel(j, h, offset=1.5)
+        qubo = ising_to_qubo(ising)
+        for bits in itertools.product((0, 1), repeat=4):
+            x = np.asarray(bits, dtype=float)
+            s = (2 * x - 1).astype(float)
+            assert np.isclose(
+                qubo.evaluate(x), ising.evaluate(s), atol=1e-9
+            )
+
+    def test_optimum_preserved(self):
+        model = random_qubo(8, 0.5, seed=9)
+        _, best_qubo = model.brute_force_minimum()
+        ising = qubo_to_ising(model)
+        best_ising = min(
+            ising.evaluate(np.asarray(s))
+            for s in itertools.product((-1, 1), repeat=8)
+        )
+        assert np.isclose(best_qubo, best_ising, atol=1e-9)
+
+
+class TestBitSpinMaps:
+    def test_roundtrip(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.int8)
+        assert np.array_equal(spins_to_bits(bits_to_spins(bits)), bits)
+
+    def test_values(self):
+        np.testing.assert_array_equal(
+            bits_to_spins(np.array([0, 1])), [-1, 1]
+        )
+        np.testing.assert_array_equal(
+            spins_to_bits(np.array([-1, 1])), [0, 1]
+        )

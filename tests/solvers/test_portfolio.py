@@ -1,0 +1,71 @@
+"""Tests for the solver portfolio."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.qubo.random_instances import random_qubo
+from repro.solvers.base import SolverStatus
+from repro.solvers.branch_and_bound import BranchAndBoundSolver
+from repro.solvers.greedy import GreedySolver
+from repro.solvers.portfolio import PortfolioSolver
+from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
+
+
+class TestPortfolioSolver:
+    def _members(self):
+        return [
+            GreedySolver(n_restarts=2, seed=0),
+            SimulatedAnnealingSolver(n_sweeps=80, n_restarts=2, seed=0),
+        ]
+
+    def test_returns_best_member(self, random_qubo_12):
+        portfolio = PortfolioSolver(self._members())
+        outcome = portfolio.solve_all(random_qubo_12)
+        energies = [r.energy for r in outcome.results]
+        assert outcome.best.energy == min(energies)
+
+    def test_solve_metadata(self, random_qubo_12):
+        portfolio = PortfolioSolver(self._members())
+        result = portfolio.solve(random_qubo_12)
+        assert result.solver_name == "portfolio"
+        assert result.metadata["winner"] in (
+            "greedy",
+            "simulated-annealing",
+        )
+        assert len(result.metadata["ranking"]) == 2
+
+    def test_optimal_status_propagates(self, small_qubo):
+        portfolio = PortfolioSolver(
+            [BranchAndBoundSolver(time_limit=10.0), GreedySolver(seed=0)]
+        )
+        result = portfolio.solve(small_qubo)
+        assert result.status is SolverStatus.OPTIMAL
+
+    def test_heuristic_status_without_proof(self, random_qubo_12):
+        portfolio = PortfolioSolver(self._members())
+        result = portfolio.solve(random_qubo_12)
+        assert result.status is SolverStatus.HEURISTIC
+
+    def test_never_worse_than_any_member(self):
+        model = random_qubo(30, 0.3, seed=5)
+        members = self._members()
+        portfolio = PortfolioSolver(members)
+        best_alone = min(m.solve(model).energy for m in self._members())
+        assert portfolio.solve(model).energy <= best_alone + 1e-9
+
+    def test_rejects_empty(self):
+        with pytest.raises(SolverError):
+            PortfolioSolver([])
+
+    def test_rejects_non_solver_members(self):
+        with pytest.raises(SolverError):
+            PortfolioSolver([GreedySolver(), "tabu"])
+
+    def test_wall_time_is_total(self, random_qubo_12):
+        portfolio = PortfolioSolver(self._members())
+        outcome = portfolio.solve_all(random_qubo_12)
+        result = portfolio.solve(random_qubo_12)
+        assert result.wall_time >= max(
+            r.wall_time for r in outcome.results
+        ) * 0.5

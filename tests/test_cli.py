@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.generators import ring_of_cliques
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph, _ = ring_of_cliques(3, 5)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_detect_args(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["detect", "--input", "g.txt", "--communities", "4"]
+        )
+        assert args.command == "detect"
+        assert args.communities == 4
+        assert args.solver == "qhd"
+
+    def test_bench_args(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bench", "--experiment", "fig3", "--scale", "0.5"]
+        )
+        assert args.experiment == "fig3"
+        assert args.scale == 0.5
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDetectCommand:
+    def test_detect_with_sa(self, graph_file, capsys):
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--communities",
+                "3",
+                "--solver",
+                "simulated-annealing",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modularity:" in out
+        assert "communities:" in out
+
+    def test_detect_writes_labels(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "labels.txt"
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--communities",
+                "3",
+                "--solver",
+                "greedy",
+                "--seed",
+                "0",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        labels = np.loadtxt(out_file, dtype=int)
+        assert len(labels) == 15
+
+    def test_detect_print_labels(self, graph_file, capsys):
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--communities",
+                "3",
+                "--solver",
+                "greedy",
+                "--print-labels",
+            ]
+        )
+        assert code == 0
+        assert "labels:" in capsys.readouterr().out
+
+    def test_unknown_solver_exits(self, graph_file):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(
+                [
+                    "detect",
+                    "--input",
+                    str(graph_file),
+                    "--communities",
+                    "2",
+                    "--solver",
+                    "gurobi",
+                ]
+            )
+
+    def test_detect_with_qhd(self, graph_file, capsys):
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--communities",
+                "3",
+                "--solver",
+                "qhd",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "direct-qubo[qhd]" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["bench", "--experiment", "fig99"])
+
+    def test_bench_table1_tiny(self, capsys):
+        code = main(
+            ["bench", "--experiment", "table1", "--scale", "0.4"]
+        )
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for repro.utils.timer."""
+
+import math
+import time
+
+import pytest
+
+from repro.utils.timer import Stopwatch, TimeBudget
+
+
+class TestStopwatch:
+    def test_initially_zero_and_stopped(self):
+        sw = Stopwatch()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_start_stop_accumulates(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        sw.stop()
+        assert sw.elapsed >= 0.009
+        assert not sw.running
+
+    def test_double_start_is_idempotent(self):
+        sw = Stopwatch().start()
+        first = sw.elapsed
+        sw.start()
+        assert sw.elapsed >= first
+
+    def test_stop_without_start_is_noop(self):
+        sw = Stopwatch()
+        sw.stop()
+        assert sw.elapsed == 0.0
+
+    def test_reset(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_resume_accumulates(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        time.sleep(0.005)
+        sw.stop()
+        assert sw.elapsed > first
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.004
+        assert not sw.running
+
+    def test_running_elapsed_grows(self):
+        sw = Stopwatch().start()
+        first = sw.elapsed
+        time.sleep(0.002)
+        assert sw.elapsed > first
+
+
+class TestTimeBudget:
+    def test_unlimited_never_exhausts(self):
+        budget = TimeBudget.unlimited()
+        assert not budget.exhausted()
+        assert budget.remaining == math.inf
+
+    def test_zero_budget_immediately_exhausted(self):
+        assert TimeBudget(0.0).exhausted()
+
+    def test_remaining_decreases(self):
+        budget = TimeBudget(10.0)
+        first = budget.remaining
+        time.sleep(0.005)
+        assert budget.remaining < first
+
+    def test_remaining_never_negative(self):
+        budget = TimeBudget(0.001)
+        time.sleep(0.01)
+        assert budget.remaining == 0.0
+
+    def test_exhaustion_after_deadline(self):
+        budget = TimeBudget(0.005)
+        time.sleep(0.01)
+        assert budget.exhausted()
+
+    def test_restart(self):
+        budget = TimeBudget(0.005)
+        time.sleep(0.01)
+        budget.restart()
+        assert not budget.exhausted()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TimeBudget(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            TimeBudget(float("nan"))
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            TimeBudget("10")

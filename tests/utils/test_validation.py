@@ -1,0 +1,118 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer(np.int32(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="x must be an integer"):
+            check_integer(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(3.0, "x")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            check_integer(1, "x", minimum=2)
+
+    def test_minimum_boundary_ok(self):
+        assert check_integer(2, "x", minimum=2) == 2
+
+    def test_returns_plain_int(self):
+        assert type(check_integer(np.int64(3), "x")) is int
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(0.0, "x")
+
+    def test_allow_zero(self):
+        assert check_positive(0.0, "x", allow_zero=True) == 0.0
+
+    def test_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive(-0.1, "x", allow_zero=True)
+
+    def test_rejects_infinity_by_default(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("inf"), "x")
+
+    def test_allow_infinity(self):
+        assert check_positive(
+            float("inf"), "x", allow_infinity=True
+        ) == float("inf")
+
+    def test_negative_infinity_rejected_even_when_allowed(self):
+        with pytest.raises(ValueError):
+            check_positive(float("-inf"), "x", allow_infinity=True)
+
+    def test_rejects_nan_always(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_positive(float("nan"), "x", allow_infinity=True)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_accepts_int(self):
+        assert check_positive(3, "x") == 3.0
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5.0])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(value, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(True, "p")
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        out = check_square_matrix([[1.0, 2.0], [3.0, 4.0]], "m")
+        assert out.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix(np.zeros((2, 3)), "m")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_square_matrix(np.zeros(4), "m")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_square_matrix([[np.nan, 0.0], [0.0, 0.0]], "m")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_square_matrix([[np.inf, 0.0], [0.0, 0.0]], "m")
+
+    def test_converts_lists(self):
+        out = check_square_matrix([[1, 2], [3, 4]], "m")
+        assert out.dtype == np.float64
