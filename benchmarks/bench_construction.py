@@ -1,0 +1,171 @@
+"""CONSTRUCT — sparse-first pipeline construction costs.
+
+Not a paper artefact: this bench guards the array-native refactor of the
+graph -> QUBO -> coarsening pipeline.  It measures, on an LFR benchmark
+graph (10k nodes at scale 1.0):
+
+* ``graph_build`` — :meth:`Graph.from_arrays` from raw edge arrays,
+* ``qubo_sparse`` — :func:`build_community_qubo` on the sparse backend
+  (CSR + low-rank factors; never O((nk)^2) memory),
+* ``qubo_dense`` — the dense backend, only when ``nk`` is small enough
+  for the dense matrix to be sane to allocate,
+* ``coarsen`` — one heavy-edge-matching coarsening pass.
+
+Besides the usual text report it writes
+``benchmarks/results/construction.json`` with the shape::
+
+    {"benchmark": "construction", "scale": ..., "n_nodes": ...,
+     "n_edges": ..., "results": [{"label": ..., "seconds": ...}, ...]}
+
+so CI can diff construction timings across PRs.  Run standalone with
+``python benchmarks/bench_construction.py [--quick]`` (``--quick``
+forces a small instance for CI) or through pytest like the other
+``bench_*`` modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import bench_scale, save_report  # noqa: E402
+
+#: Dense QUBO timing is skipped above this variable count (the dense
+#: matrix alone would exceed ~0.3 GB).
+DENSE_TIMING_LIMIT = 6000
+
+
+def _timed(fn, *args, repeats: int = 3, **kwargs):
+    """Best-of-``repeats`` wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_construction(scale: float, n_communities: int = 4) -> dict:
+    """Run all construction measurements at ``scale`` and return the
+    JSON-ready result dict."""
+    from repro.graphs.coarsen import coarsen_graph
+    from repro.graphs.graph import Graph
+    from repro.graphs.lfr import lfr_graph
+    from repro.qubo.builders import build_community_qubo
+
+    n_nodes = max(500, int(round(10_000 * scale)))
+    graph, _ = lfr_graph(n_nodes, mixing=0.1, seed=11)
+    edge_u, edge_v, edge_w = graph.edge_arrays()
+    nk = graph.n_nodes * n_communities
+
+    results = []
+
+    seconds, _ = _timed(
+        Graph.from_arrays, graph.n_nodes, edge_u, edge_v, edge_w
+    )
+    results.append({"label": "graph_build", "seconds": seconds})
+
+    seconds, sparse_cq = _timed(
+        build_community_qubo, graph, n_communities, backend="sparse"
+    )
+    results.append({"label": "qubo_sparse", "seconds": seconds})
+
+    if nk <= DENSE_TIMING_LIMIT:
+        seconds, _ = _timed(
+            build_community_qubo,
+            graph,
+            n_communities,
+            backend="dense",
+            repeats=1,
+        )
+        results.append({"label": "qubo_dense", "seconds": seconds})
+
+    seconds, level = _timed(coarsen_graph, graph, repeats=1)
+    results.append({"label": "coarsen", "seconds": seconds})
+
+    return {
+        "benchmark": "construction",
+        "scale": scale,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "n_communities": n_communities,
+        "n_variables": nk,
+        "sparse_nnz": sparse_cq.model.nnz,
+        "coarse_nodes": level.coarse_graph.n_nodes,
+        "results": results,
+    }
+
+
+def report_text(report: dict) -> str:
+    """Human-readable table of one construction run."""
+    lines = [
+        "CONSTRUCT — pipeline construction costs",
+        f"graph: {report['n_nodes']} nodes, {report['n_edges']} edges, "
+        f"k={report['n_communities']} ({report['n_variables']} variables)",
+        f"sparse QUBO nnz: {report['sparse_nnz']}, one coarsening pass "
+        f"-> {report['coarse_nodes']} super-nodes",
+        "-" * 46,
+    ]
+    for row in report["results"]:
+        lines.append(f"{row['label']:<16} {row['seconds'] * 1e3:>10.2f} ms")
+    return "\n".join(lines)
+
+
+def save_json(report: dict) -> Path:
+    """Persist the JSON report under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "construction.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def test_construction(benchmark):
+    """pytest-benchmark entry point, consistent with the other benches."""
+    scale = min(bench_scale(), 0.2)  # cap pytest runs at 2k nodes
+    report = benchmark.pedantic(
+        run_construction, args=(scale,), rounds=1, iterations=1
+    )
+    save_report("construction", report_text(report))
+    path = save_json(report)
+    print(f"[json saved to {path}]")
+
+    labels = {row["label"] for row in report["results"]}
+    assert {"graph_build", "qubo_sparse", "coarsen"} <= labels
+    sparse_seconds = next(
+        row["seconds"]
+        for row in report["results"]
+        if row["label"] == "qubo_sparse"
+    )
+    # The sparse build of a ~2k-node QUBO is a few milliseconds; a whole
+    # second means the vectorized path regressed to per-edge loops.
+    assert sparse_seconds < 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="force a small instance (1k nodes) regardless of "
+        "REPRO_BENCH_SCALE — used by CI",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.1 if args.quick else bench_scale()
+    report = run_construction(scale)
+    text = report_text(report)
+    save_report("construction", text)
+    path = save_json(report)
+    print(f"[json saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    raise SystemExit(main())

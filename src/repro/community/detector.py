@@ -36,6 +36,17 @@ class QhdCommunityDetector:
         Convenience QHD settings used when ``solver`` is ``None``.
     seed:
         Seed of the default QHD solver.
+    backend:
+        QUBO storage backend for every solve (``"auto"``, ``"dense"``
+        or ``"sparse"``).  ``"auto"`` follows
+        :func:`repro.qubo.select_backend`: dense while
+        ``n * k <= DENSE_VARIABLE_LIMIT`` (2048 variables), sparse
+        beyond — the sparse backend stores adjacency couplings in CSR
+        and the null-model/penalty terms as low-rank factors, so
+        memory stays O(|E| k + n k) instead of O((n k)^2).  Forcing
+        ``"dense"`` reproduces the all-dense pipeline; forcing
+        ``"sparse"`` exercises the paper's sparsity-computation regime
+        at any size.
 
     Examples
     --------
@@ -59,6 +70,7 @@ class QhdCommunityDetector:
         qhd_steps: int = 200,
         qhd_grid_points: int = 32,
         seed: SeedLike = None,
+        backend: str = "auto",
     ) -> None:
         self.direct_threshold = check_integer(
             direct_threshold, "direct_threshold", minimum=1
@@ -81,12 +93,14 @@ class QhdCommunityDetector:
             lambda_assignment=lambda_assignment,
             lambda_balance=lambda_balance,
             refine_passes=refine_passes,
+            backend=backend,
         )
         self._multilevel = MultilevelDetector(
             solver=solver,
             config=config,
             lambda_assignment=lambda_assignment,
             lambda_balance=lambda_balance,
+            backend=backend,
         )
 
     def detect(self, graph: Graph, n_communities: int) -> CommunityResult:

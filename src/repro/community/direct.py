@@ -39,6 +39,12 @@ class DirectQuboDetector:
     refine_seed:
         ``None`` = deterministic node order; an int randomises the
         local-moving order (used when measuring run-to-run variance).
+    backend:
+        QUBO storage backend: ``"auto"`` (default) applies
+        :func:`repro.qubo.select_backend`'s size/density rule — dense up
+        to ``n * k <= 2048`` variables, sparse (CSR + low-rank factors,
+        never O((nk)^2) memory) beyond; ``"dense"`` / ``"sparse"``
+        force a backend.
 
     Examples
     --------
@@ -60,6 +66,7 @@ class DirectQuboDetector:
         cut_weight: float = 0.0,
         refine_passes: int = 5,
         refine_seed=None,
+        backend: str = "auto",
     ) -> None:
         if solver is None:
             from repro.qhd.solver import QhdSolver
@@ -78,6 +85,7 @@ class DirectQuboDetector:
             refine_passes, "refine_passes", minimum=0
         )
         self.refine_seed = refine_seed
+        self.backend = backend
 
     def detect(self, graph: Graph, n_communities: int) -> CommunityResult:
         """Detect at most ``n_communities`` communities in ``graph``."""
@@ -91,6 +99,7 @@ class DirectQuboDetector:
             lambda_balance=self.lambda_balance,
             modularity_weight=self.modularity_weight,
             cut_weight=self.cut_weight,
+            backend=self.backend,
         )
         solve_result = self.solver.solve(community_qubo.model)
         violations = assignment_violations(
@@ -121,5 +130,6 @@ class DirectQuboDetector:
                 "lambda_assignment": community_qubo.lambda_assignment,
                 "lambda_balance": community_qubo.lambda_balance,
                 "refine_passes": self.refine_passes,
+                "qubo_backend": community_qubo.backend,
             },
         )

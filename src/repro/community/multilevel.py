@@ -77,6 +77,11 @@ class MultilevelDetector:
         Multilevel tuning knobs.
     lambda_assignment, lambda_balance, modularity_weight, cut_weight:
         Forwarded to the base-level :class:`DirectQuboDetector`.
+    backend:
+        QUBO storage backend forwarded to the base solve (``"auto"``
+        default): with a large coarsening ``threshold`` the base QUBO
+        switches to the sparse backend automatically, so multilevel base
+        solves never materialise an O((nk)^2) dense matrix.
 
     Examples
     --------
@@ -100,6 +105,7 @@ class MultilevelDetector:
         lambda_balance: float | None = None,
         modularity_weight: float = 1.0,
         cut_weight: float = 0.0,
+        backend: str = "auto",
     ) -> None:
         self.config = config or MultilevelConfig()
         self._base_detector = DirectQuboDetector(
@@ -110,6 +116,7 @@ class MultilevelDetector:
             cut_weight=cut_weight,
             refine_passes=self.config.refine_passes,
             refine_seed=self.config.refine_seed,
+            backend=backend,
         )
 
     @property

@@ -53,19 +53,28 @@ def hybrid_edge_scores(
     if max_weight <= 0:
         max_weight = 1.0
 
-    neighbor_sets = [
-        {int(x) for x in graph.neighbors(i) if int(x) != i}
-        for i in range(graph.n_nodes)
-    ]
-    for idx in range(n_edges):
-        u, v, w = int(edge_u[idx]), int(edge_v[idx]), float(edge_w[idx])
-        if u == v:
-            continue
-        set_u, set_v = neighbor_sets[u], neighbor_sets[v]
-        inter = len(set_u & set_v)
-        union = len(set_u | set_v)
-        jaccard = inter / union if union else 0.0
-        scores[idx] = alpha * jaccard + beta * (w / max_weight)
+    # Structural (0/1) adjacency without self-loops; common-neighbour
+    # counts for all edges at once via sparse row products.
+    structural = graph.sparse_adjacency()
+    structural.setdiag(0)
+    structural.eliminate_zeros()
+    structural.data = np.ones_like(structural.data)
+    neighbor_counts = np.asarray(structural.sum(axis=1)).ravel()
+
+    off = edge_u != edge_v
+    u_off = edge_u[off]
+    v_off = edge_v[off]
+    common = np.asarray(
+        structural[u_off].multiply(structural[v_off]).sum(axis=1)
+    ).ravel()
+    union = neighbor_counts[u_off] + neighbor_counts[v_off] - common
+    jaccard = np.divide(
+        common,
+        union,
+        out=np.zeros_like(common, dtype=np.float64),
+        where=union > 0,
+    )
+    scores[off] = alpha * jaccard + beta * (edge_w[off] / max_weight)
     return scores
 
 
@@ -105,11 +114,14 @@ def heavy_edge_matching(
     order = np.lexsort((edge_v, edge_u, -scores))
     matched = np.zeros(n, dtype=bool)
     degrees = graph.degrees
-    for idx in order:
-        u, v = int(edge_u[idx]), int(edge_v[idx])
+    u_list = edge_u[order].tolist()
+    v_list = edge_v[order].tolist()
+    if max_degree is not None:
+        pair_degrees = (degrees[edge_u] + degrees[edge_v])[order].tolist()
+    for idx, (u, v) in enumerate(zip(u_list, v_list)):
         if u == v or matched[u] or matched[v]:
             continue
-        if max_degree is not None and degrees[u] + degrees[v] > max_degree:
+        if max_degree is not None and pair_degrees[idx] > max_degree:
             continue
         matched[u] = matched[v] = True
         match[u] = v
@@ -118,19 +130,16 @@ def heavy_edge_matching(
 
 
 def _matching_to_mapping(match: np.ndarray) -> tuple[np.ndarray, int]:
-    """Convert a matching into a dense fine-to-coarse node mapping."""
+    """Convert a matching into a dense fine-to-coarse node mapping.
+
+    Each matched pair's representative is its smaller member; coarse ids
+    are assigned in ascending representative order, reproducing the
+    first-encounter numbering of a sequential scan without one.
+    """
     n = len(match)
-    mapping = np.full(n, -1, dtype=np.int64)
-    next_id = 0
-    for u in range(n):
-        if mapping[u] >= 0:
-            continue
-        v = int(match[u])
-        mapping[u] = next_id
-        if v != u:
-            mapping[v] = next_id
-        next_id += 1
-    return mapping, next_id
+    representatives = np.minimum(np.arange(n, dtype=np.int64), match)
+    unique_reps, mapping = np.unique(representatives, return_inverse=True)
+    return mapping.astype(np.int64), len(unique_reps)
 
 
 @dataclass(frozen=True)
@@ -170,14 +179,12 @@ def coarsen_graph(
     )
     mapping, n_coarse = _matching_to_mapping(match)
 
+    # Project edges through the mapping; Graph.from_arrays merges the
+    # resulting parallel edges by weight summation (one segment-sum), so
+    # no per-edge accumulation is needed here.
     edge_u, edge_v, edge_w = graph.edge_arrays()
-    coarse_edges: dict[tuple[int, int], float] = {}
-    for u, v, w in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
-        cu, cv = int(mapping[u]), int(mapping[v])
-        key = (cu, cv) if cu <= cv else (cv, cu)
-        coarse_edges[key] = coarse_edges.get(key, 0.0) + float(w)
-    coarse = Graph(
-        n_coarse, [(u, v, w) for (u, v), w in coarse_edges.items()]
+    coarse = Graph.from_arrays(
+        n_coarse, mapping[edge_u], mapping[edge_v], edge_w
     )
     return CoarseningLevel(fine_graph=graph, coarse_graph=coarse, mapping=mapping)
 

@@ -49,6 +49,17 @@ def _sample_distinct_pairs(
     return pairs
 
 
+def _pairs_to_arrays(
+    pairs: set[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unzip a pair set into parallel (u, v) edge arrays."""
+    if not pairs:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    arr = np.array(sorted(pairs), dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
+
+
 def erdos_renyi_graph(
     n_nodes: int, edge_probability: float, seed: SeedLike = None
 ) -> Graph:
@@ -73,7 +84,8 @@ def erdos_renyi_graph(
     count = int(rng.binomial(n_pairs, p))
     nodes = np.arange(n)
     pairs = _sample_distinct_pairs(nodes, nodes, count, rng, forbid_equal=True)
-    return Graph(n, [(u, v, 1.0) for u, v in pairs])
+    edge_u, edge_v = _pairs_to_arrays(pairs)
+    return Graph.from_arrays(n, edge_u, edge_v)
 
 
 def stochastic_block_model_graph(
@@ -114,7 +126,7 @@ def stochastic_block_model_graph(
         [np.full(size, b, dtype=np.int64) for b, size in enumerate(sizes)]
     )
 
-    edges: list[tuple[int, int, float]] = []
+    edge_blocks: list[np.ndarray] = []
     for a in range(k):
         block_a = np.arange(offsets[a], offsets[a + 1])
         for b in range(a, k):
@@ -134,8 +146,13 @@ def stochastic_block_model_graph(
                 pairs = _sample_distinct_pairs(
                     block_a, block_b, count, rng, forbid_equal=False
                 )
-            edges.extend((u, v, 1.0) for u, v in pairs)
-    return Graph(n, edges), labels
+            edge_blocks.append(np.column_stack(_pairs_to_arrays(pairs)))
+    if edge_blocks:
+        stacked = np.concatenate(edge_blocks, axis=0)
+        graph = Graph.from_arrays(n, stacked[:, 0], stacked[:, 1])
+    else:
+        graph = Graph(n, [])
+    return graph, labels
 
 
 def planted_partition_graph(
@@ -308,4 +325,5 @@ def random_regular_community_graph(
             if pair not in edges:
                 edges.add(pair)
                 added += 1
-    return Graph(k * size, [(u, v, 1.0) for u, v in edges]), labels
+    edge_u, edge_v = _pairs_to_arrays(edges)
+    return Graph.from_arrays(k * size, edge_u, edge_v), labels

@@ -7,6 +7,13 @@ CSR adjacency built once at construction; instances are immutable, so derived
 quantities (degrees, total edge weight) are computed eagerly and shared
 freely.
 
+Construction is array-native end to end: edge lists are converted to
+parallel numpy arrays once and every canonicalisation step (bounds checks,
+``u <= v`` ordering, duplicate merging, CSR assembly) is a vectorized
+operation — there is no per-edge Python loop anywhere on the build path.
+CSR neighbour slices are sorted ascending, so point queries
+(:meth:`has_edge` / :meth:`edge_weight`) are binary searches.
+
 Self-loops are supported because graph coarsening creates them: an intra-
 super-node edge becomes a self-loop whose weight is counted *twice* in the
 weighted degree, matching the convention used by modularity (each self-loop
@@ -22,6 +29,65 @@ import numpy as np
 from repro.exceptions import GraphError
 
 
+def _check_n_nodes(n_nodes: int) -> int:
+    if isinstance(n_nodes, bool) or not isinstance(n_nodes, (int, np.integer)):
+        raise GraphError(f"n_nodes must be an integer, got {n_nodes!r}")
+    if n_nodes < 0:
+        raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
+    return int(n_nodes)
+
+
+def _canonicalize_edge_arrays(
+    n: int,
+    u_arr: np.ndarray,
+    v_arr: np.ndarray,
+    w_arr: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and canonicalise parallel edge arrays (fully vectorized).
+
+    Returns ``(u, v, w)`` with ``u <= v`` per edge, duplicate ``(u, v)``
+    pairs merged by weight summation, and edges sorted by ``(u, v)``.
+    """
+    if np.any((u_arr < 0) | (u_arr >= n) | (v_arr < 0) | (v_arr >= n)):
+        bad = np.flatnonzero(
+            (u_arr < 0) | (u_arr >= n) | (v_arr < 0) | (v_arr >= n)
+        )[0]
+        raise GraphError(
+            f"edge ({int(u_arr[bad])}, {int(v_arr[bad])}) references a "
+            f"node outside 0..{n - 1}"
+        )
+    finite = np.isfinite(w_arr)
+    if not finite.all():
+        bad = np.flatnonzero(~finite)[0]
+        raise GraphError(
+            f"edge ({int(u_arr[bad])}, {int(v_arr[bad])}) has non-finite "
+            f"weight {float(w_arr[bad])}"
+        )
+    negative = w_arr < 0
+    if negative.any():
+        bad = np.flatnonzero(negative)[0]
+        raise GraphError(
+            f"edge ({int(u_arr[bad])}, {int(v_arr[bad])}) has negative "
+            f"weight {float(w_arr[bad])}; only non-negative weights are "
+            "supported"
+        )
+
+    lo = np.minimum(u_arr, v_arr)
+    hi = np.maximum(u_arr, v_arr)
+
+    # Merge duplicate (u, v) pairs by summing weights.
+    keys = lo * n + hi
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    lo, hi, w_arr = lo[order], hi[order], w_arr[order]
+    unique_mask = np.empty(len(keys), dtype=bool)
+    unique_mask[0] = True
+    unique_mask[1:] = keys[1:] != keys[:-1]
+    starts = np.flatnonzero(unique_mask)
+    merged_w = np.add.reduceat(w_arr, starts)
+    return lo[starts], hi[starts], merged_w
+
+
 class Graph:
     """Immutable weighted undirected graph on nodes ``0..n_nodes-1``.
 
@@ -30,9 +96,10 @@ class Graph:
     n_nodes:
         Number of nodes.  Isolated nodes are allowed.
     edges:
-        Iterable of ``(u, v)`` or ``(u, v, weight)`` tuples.  Duplicate
-        ``(u, v)`` pairs are merged by summing weights; ``(v, u)`` is the
-        same edge as ``(u, v)``.  ``u == v`` creates a self-loop.
+        Iterable of ``(u, v)`` or ``(u, v, weight)`` tuples, or an
+        ``(m, 2)`` / ``(m, 3)`` array.  Duplicate ``(u, v)`` pairs are
+        merged by summing weights; ``(v, u)`` is the same edge as
+        ``(u, v)``.  ``u == v`` creates a self-loop.
 
     Examples
     --------
@@ -62,14 +129,7 @@ class Graph:
         n_nodes: int,
         edges: Iterable[Sequence[float]] = (),
     ) -> None:
-        if isinstance(n_nodes, bool) or not isinstance(
-            n_nodes, (int, np.integer)
-        ):
-            raise GraphError(f"n_nodes must be an integer, got {n_nodes!r}")
-        if n_nodes < 0:
-            raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
-        self._n = int(n_nodes)
-
+        self._n = _check_n_nodes(n_nodes)
         edge_u, edge_v, edge_w = self._normalize_edges(edges)
         self._edge_u = edge_u
         self._edge_v = edge_v
@@ -82,66 +142,60 @@ class Graph:
     def _normalize_edges(
         self, edges: Iterable[Sequence[float]]
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Canonicalise edges: u <= v, merged duplicates, validated ids."""
-        u_list: list[int] = []
-        v_list: list[int] = []
-        w_list: list[float] = []
-        for item in edges:
-            if len(item) == 2:
-                u, v = item  # type: ignore[misc]
-                w = 1.0
-            elif len(item) == 3:
-                u, v, w = item  # type: ignore[misc]
-            else:
-                raise GraphError(
-                    f"edges must be (u, v) or (u, v, w), got {item!r}"
-                )
-            u = int(u)
-            v = int(v)
-            w = float(w)
-            if not (0 <= u < self._n and 0 <= v < self._n):
-                raise GraphError(
-                    f"edge ({u}, {v}) references a node outside "
-                    f"0..{self._n - 1}"
-                )
-            if not np.isfinite(w):
-                raise GraphError(f"edge ({u}, {v}) has non-finite weight {w}")
-            if w < 0:
-                raise GraphError(
-                    f"edge ({u}, {v}) has negative weight {w}; only "
-                    "non-negative weights are supported"
-                )
-            if u > v:
-                u, v = v, u
-            u_list.append(u)
-            v_list.append(v)
-            w_list.append(w)
+        """Canonicalise edges: u <= v, merged duplicates, validated ids.
 
-        if not u_list:
+        Edge parsing converts the whole iterable to one ``(m, 2|3)``
+        array; validation and merging are pure vectorized array
+        operations (see :func:`_canonicalize_edge_arrays`).
+        """
+        if isinstance(edges, np.ndarray):
+            arr = edges
+        else:
+            edges = list(edges)
+            if not edges:
+                empty_i = np.empty(0, dtype=np.int64)
+                empty_f = np.empty(0, dtype=np.float64)
+                return empty_i, empty_i.copy(), empty_f
+            try:
+                arr = np.asarray(edges, dtype=np.float64)
+            except (ValueError, TypeError):
+                # Ragged input (mixed 2- and 3-tuples): pad to (u, v, w).
+                arr = np.asarray(
+                    [
+                        (*item, 1.0) if len(item) == 2 else tuple(item)
+                        for item in edges
+                        if len(item) in (2, 3)
+                    ],
+                    dtype=np.float64,
+                )
+                if len(arr) != len(edges):
+                    bad = next(e for e in edges if len(e) not in (2, 3))
+                    raise GraphError(
+                        f"edges must be (u, v) or (u, v, w), got {bad!r}"
+                    ) from None
+        if arr.size == 0:
             empty_i = np.empty(0, dtype=np.int64)
             empty_f = np.empty(0, dtype=np.float64)
             return empty_i, empty_i.copy(), empty_f
-
-        u_arr = np.asarray(u_list, dtype=np.int64)
-        v_arr = np.asarray(v_list, dtype=np.int64)
-        w_arr = np.asarray(w_list, dtype=np.float64)
-
-        # Merge duplicate (u, v) pairs by summing weights.
-        keys = u_arr * self._n + v_arr
-        order = np.argsort(keys, kind="stable")
-        keys = keys[order]
-        u_arr, v_arr, w_arr = u_arr[order], v_arr[order], w_arr[order]
-        unique_mask = np.empty(len(keys), dtype=bool)
-        unique_mask[0] = True
-        unique_mask[1:] = keys[1:] != keys[:-1]
-        group_ids = np.cumsum(unique_mask) - 1
-        merged_w = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
-        np.add.at(merged_w, group_ids, w_arr)
-        keep = np.flatnonzero(unique_mask)
-        return u_arr[keep], v_arr[keep], merged_w
+        if arr.ndim != 2 or arr.shape[1] not in (2, 3):
+            if isinstance(edges, np.ndarray):
+                raise GraphError(
+                    f"edges array must have shape (m, 2) or (m, 3), "
+                    f"got {arr.shape}"
+                )
+            raise GraphError(
+                f"edges must be (u, v) or (u, v, w), got {edges[0]!r}"
+            )
+        u_arr = arr[:, 0].astype(np.int64)
+        v_arr = arr[:, 1].astype(np.int64)
+        if arr.shape[1] == 3:
+            w_arr = np.ascontiguousarray(arr[:, 2], dtype=np.float64)
+        else:
+            w_arr = np.ones(len(arr), dtype=np.float64)
+        return _canonicalize_edge_arrays(self._n, u_arr, v_arr, w_arr)
 
     def _build_csr(self) -> None:
-        """Build the symmetric CSR adjacency and degree cache."""
+        """Build the symmetric CSR adjacency (rows sorted) and degrees."""
         n = self._n
         u, v, w = self._edge_u, self._edge_v, self._edge_w
         loop_mask = u == v
@@ -152,15 +206,16 @@ class Graph:
         counts = np.bincount(nu, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        order = np.argsort(nu, kind="stable")
+        # Lexsort on (row, column) leaves every CSR row sorted ascending,
+        # which is what makes has_edge/edge_weight binary searches.
+        order = np.lexsort((nv, nu))
         self._indptr = indptr
         self._indices = nv[order]
         self._weights = nw[order]
 
         # Weighted degree: self-loops count twice (modularity convention).
-        degrees = np.zeros(n, dtype=np.float64)
-        np.add.at(degrees, u, w)
-        np.add.at(degrees, v, w)
+        degrees = np.bincount(u, weights=w, minlength=n)
+        degrees += np.bincount(v, weights=w, minlength=n)
         self._degrees = degrees
         self._total_weight = float(w.sum())
 
@@ -175,10 +230,39 @@ class Graph:
         edge_v: np.ndarray,
         edge_w: np.ndarray | None = None,
     ) -> "Graph":
-        """Build a graph from parallel edge arrays (fast path)."""
+        """Build a graph from parallel edge arrays (the true fast path).
+
+        Unlike the tuple-iterable constructor, this never materialises
+        per-edge Python objects: the arrays go straight through vectorized
+        validation, canonicalisation and CSR assembly.
+        """
+        graph = cls.__new__(cls)
+        graph._n = _check_n_nodes(n_nodes)
+        u_arr = np.asarray(edge_u, dtype=np.int64)
+        v_arr = np.asarray(edge_v, dtype=np.int64)
         if edge_w is None:
-            edge_w = np.ones(len(edge_u), dtype=np.float64)
-        return cls(n_nodes, zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()))
+            w_arr = np.ones(len(u_arr), dtype=np.float64)
+        else:
+            w_arr = np.asarray(edge_w, dtype=np.float64)
+        if not (len(u_arr) == len(v_arr) == len(w_arr)):
+            raise GraphError(
+                "edge_u, edge_v and edge_w must have equal lengths, got "
+                f"{len(u_arr)}, {len(v_arr)}, {len(w_arr)}"
+            )
+        if len(u_arr) == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            graph._edge_u = empty_i
+            graph._edge_v = empty_i.copy()
+            graph._edge_w = np.empty(0, dtype=np.float64)
+        else:
+            eu, ev, ew = _canonicalize_edge_arrays(
+                graph._n, u_arr, v_arr, w_arr
+            )
+            graph._edge_u = eu
+            graph._edge_v = ev
+            graph._edge_w = ew
+        graph._build_csr()
+        return graph
 
     @classmethod
     def from_networkx(cls, nx_graph) -> "Graph":
@@ -247,8 +331,12 @@ class Graph:
     # ------------------------------------------------------------------
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Yield canonical ``(u, v, weight)`` triples with ``u <= v``."""
-        for u, v, w in zip(self._edge_u, self._edge_v, self._edge_w):
-            yield int(u), int(v), float(w)
+        for u, v, w in zip(
+            self._edge_u.tolist(),
+            self._edge_v.tolist(),
+            self._edge_w.tolist(),
+        ):
+            yield u, v, w
 
     def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return read-only canonical edge arrays ``(u, v, w)``."""
@@ -260,7 +348,8 @@ class Graph:
         return tuple(arrays)  # type: ignore[return-value]
 
     def neighbors(self, node: int) -> np.ndarray:
-        """Neighbour indices of ``node`` (includes ``node`` for self-loops)."""
+        """Neighbour ids of ``node``, sorted ascending (self included
+        for self-loops)."""
         if not 0 <= node < self._n:
             raise GraphError(f"node {node} outside 0..{self._n - 1}")
         return self._indices[self._indptr[node] : self._indptr[node + 1]]
@@ -272,18 +361,34 @@ class Graph:
         return self._weights[self._indptr[node] : self._indptr[node + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether edge ``(u, v)`` exists."""
+        """Whether edge ``(u, v)`` exists (binary search, O(log deg))."""
         if not (0 <= u < self._n and 0 <= v < self._n):
             return False
-        return bool(np.any(self.neighbors(u) == v))
+        return self._find_slot(u, v) >= 0
 
     def edge_weight(self, u: int, v: int) -> float:
-        """Weight of edge ``(u, v)``; 0.0 when absent."""
-        neighbors = self.neighbors(u)
-        hits = np.flatnonzero(neighbors == v)
-        if len(hits) == 0:
+        """Weight of edge ``(u, v)``; 0.0 when absent (O(log deg))."""
+        if not 0 <= u < self._n:
+            raise GraphError(f"node {u} outside 0..{self._n - 1}")
+        slot = self._find_slot(u, v)
+        if slot < 0:
             return 0.0
-        return float(self.neighbor_weights(u)[hits[0]])
+        return float(self._weights[slot])
+
+    def _find_slot(self, u: int, v: int) -> int:
+        """CSR slot of neighbour ``v`` in row ``u``; -1 when absent.
+
+        Rows are sorted ascending at build time, so this is a
+        ``searchsorted`` over the row slice.
+        """
+        start = int(self._indptr[u])
+        end = int(self._indptr[u + 1])
+        pos = start + int(
+            np.searchsorted(self._indices[start:end], v)
+        )
+        if pos < end and int(self._indices[pos]) == v:
+            return pos
+        return -1
 
     def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the symmetric CSR arrays ``(indptr, indices, weights)``."""
@@ -307,11 +412,20 @@ class Graph:
         return a
 
     def sparse_adjacency(self):
-        """Symmetric :class:`scipy.sparse.csr_matrix` adjacency."""
+        """Symmetric :class:`scipy.sparse.csr_matrix` adjacency.
+
+        The returned matrix owns copies of the CSR arrays: callers may
+        mutate it (``setdiag``, ``eliminate_zeros``, ...) without
+        corrupting this immutable graph.
+        """
         from scipy import sparse
 
         return sparse.csr_matrix(
-            (self._weights, self._indices, self._indptr),
+            (
+                self._weights.copy(),
+                self._indices.copy(),
+                self._indptr.copy(),
+            ),
             shape=(self._n, self._n),
         )
 
@@ -340,28 +454,36 @@ class Graph:
     # Structure
     # ------------------------------------------------------------------
     def connected_components(self) -> list[np.ndarray]:
-        """Connected components as arrays of node ids (BFS, iterative)."""
-        seen = np.zeros(self._n, dtype=bool)
-        components: list[np.ndarray] = []
-        for start in range(self._n):
-            if seen[start]:
-                continue
-            stack = [start]
-            seen[start] = True
-            members = [start]
-            while stack:
-                node = stack.pop()
-                for nb in self.neighbors(node):
-                    nb = int(nb)
-                    if not seen[nb]:
-                        seen[nb] = True
-                        stack.append(nb)
-                        members.append(nb)
-            components.append(np.asarray(sorted(members), dtype=np.int64))
-        return components
+        """Connected components as sorted arrays of node ids.
+
+        Uses :func:`scipy.sparse.csgraph.connected_components`; components
+        are ordered by their smallest member and each component's ids are
+        ascending, matching the old BFS discovery order.
+        """
+        if self._n == 0:
+            return []
+        from scipy.sparse import csgraph
+
+        n_comp, labels = csgraph.connected_components(
+            self.sparse_adjacency(), directed=False
+        )
+        # Re-rank labels by first occurrence so component order follows
+        # the smallest member (scipy's labelling already does this, but
+        # the contract should not depend on scipy internals).
+        _, first_idx = np.unique(labels, return_index=True)
+        rank = np.empty(n_comp, dtype=np.int64)
+        rank[np.argsort(first_idx, kind="stable")] = np.arange(n_comp)
+        ranked = rank[labels]
+        order = np.argsort(ranked, kind="stable")
+        sizes = np.bincount(ranked, minlength=n_comp)
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        return [
+            order[bounds[i] : bounds[i + 1]].astype(np.int64)
+            for i in range(n_comp)
+        ]
 
     def subgraph(self, nodes: Sequence[int]) -> tuple["Graph", np.ndarray]:
-        """Induced subgraph on ``nodes``.
+        """Induced subgraph on ``nodes`` (vectorized).
 
         Returns the subgraph (with nodes relabelled ``0..len(nodes)-1`` in the
         given order) and the array mapping new ids back to original ids.
@@ -369,13 +491,23 @@ class Graph:
         nodes_arr = np.asarray(list(nodes), dtype=np.int64)
         if len(np.unique(nodes_arr)) != len(nodes_arr):
             raise GraphError("subgraph nodes must be unique")
-        index = {int(old): new for new, old in enumerate(nodes_arr)}
-        edges = [
-            (index[u], index[v], w)
-            for u, v, w in self.edges()
-            if u in index and v in index
-        ]
-        return Graph(len(nodes_arr), edges), nodes_arr
+        if len(nodes_arr) and (
+            nodes_arr.min() < 0 or nodes_arr.max() >= self._n
+        ):
+            raise GraphError(
+                f"subgraph nodes must lie in 0..{self._n - 1}"
+            )
+        new_id = np.full(self._n, -1, dtype=np.int64)
+        new_id[nodes_arr] = np.arange(len(nodes_arr), dtype=np.int64)
+        u, v, w = self._edge_u, self._edge_v, self._edge_w
+        keep = (new_id[u] >= 0) & (new_id[v] >= 0)
+        sub = Graph.from_arrays(
+            len(nodes_arr),
+            new_id[u[keep]],
+            new_id[v[keep]],
+            w[keep],
+        )
+        return sub, nodes_arr
 
     # ------------------------------------------------------------------
     # Dunder methods

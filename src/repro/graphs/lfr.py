@@ -160,5 +160,9 @@ def lfr_graph(
             if partner is not None:
                 edges.add((min(node, partner), max(node, partner)))
 
-    graph = Graph(n, [(u, v, 1.0) for u, v in edges])
+    if edges:
+        edge_arr = np.array(sorted(edges), dtype=np.int64)
+        graph = Graph.from_arrays(n, edge_arr[:, 0], edge_arr[:, 1])
+    else:
+        graph = Graph(n, [])
     return graph, labels

@@ -43,7 +43,7 @@ from repro.hamiltonian.propagator import KineticPropagator, strang_step
 from repro.hamiltonian.schedules import Schedule, get_schedule
 from repro.qhd.refinement import refine_candidates, round_positions
 from repro.qhd.result import QhdDetails, QhdTrace
-from repro.qubo.model import QuboModel
+from repro.qubo.model import BaseQubo
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import Stopwatch
@@ -141,8 +141,14 @@ class QhdSolver(QuboSolver):
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def solve(self, model: QuboModel) -> SolveResult:
-        """Minimise ``model``; see :meth:`solve_detailed` for diagnostics."""
+    def solve(self, model: BaseQubo) -> SolveResult:
+        """Minimise ``model``; see :meth:`solve_detailed` for diagnostics.
+
+        ``model`` may be dense or sparse: every hot operation of the
+        evolution loop is a ``local_fields_batch`` /
+        ``evaluate_batch`` call on the shared interface, so sparse
+        community QUBOs run without densification.
+        """
         details, wall_time, steps = self._run(model)
         return SolveResult(
             x=details.best_sample,
@@ -160,7 +166,7 @@ class QhdSolver(QuboSolver):
             },
         )
 
-    def solve_detailed(self, model: QuboModel) -> QhdDetails:
+    def solve_detailed(self, model: BaseQubo) -> QhdDetails:
         """Minimise ``model`` and return the full measurement ensemble."""
         details, _, _ = self._run(model)
         return details
@@ -168,7 +174,7 @@ class QhdSolver(QuboSolver):
     # ------------------------------------------------------------------
     # Core simulation
     # ------------------------------------------------------------------
-    def _run(self, model: QuboModel) -> tuple[QhdDetails, float, int]:
+    def _run(self, model: BaseQubo) -> tuple[QhdDetails, float, int]:
         model = self._validate_model(model)
         rng = ensure_rng(self._seed)
         watch = Stopwatch().start()
@@ -273,7 +279,7 @@ class QhdSolver(QuboSolver):
     # Helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _energy_scale(model: QuboModel) -> float:
+    def _energy_scale(model: BaseQubo) -> float:
         """Normalisation of the QUBO landscape fed to the dynamics.
 
         The schedule's potential coefficient sweeps a fixed numeric range,
@@ -282,8 +288,9 @@ class QhdSolver(QuboSolver):
         search phase entirely and instances with tiny ones would never
         localise.
         """
-        # ravel() flattens the np.matrix row-sums a sparse coupling yields.
-        row_sums = np.asarray(np.abs(model.coupling).sum(axis=1)).ravel()
+        # Backend-agnostic |coupling| row sums: sparse models include
+        # their factor-term bound without densifying.
+        row_sums = model.coupling_row_abs_sums()
         field_bound = row_sums + np.abs(model.effective_linear)
         scale = float(np.median(field_bound))
         if scale <= 0:

@@ -12,19 +12,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.qubo.model import QuboModel
+from repro.qubo.model import BaseQubo
+from repro.qubo.sparse import SparseQuboModel
 
 
-def qubo_density(model: QuboModel) -> float:
+def qubo_density(model: BaseQubo) -> float:
     """Fraction of nonzero off-diagonal couplings.
 
     Computed on the symmetrised coupling matrix over the ``n (n - 1)``
     ordered off-diagonal slots, matching the sparsity statistic the paper
-    reports for its portfolio.
+    reports for its portfolio.  For sparse models only explicitly stored
+    couplings are counted (factor terms would densify the count).
     """
     n = model.n_variables
     if n < 2:
         return 0.0
+    if isinstance(model, SparseQuboModel):
+        return model.density()
     nonzero = int(np.count_nonzero(model.coupling))
     return nonzero / (n * (n - 1))
 
@@ -50,14 +54,24 @@ class QuboStatistics:
         }
 
 
-def qubo_statistics(model: QuboModel) -> QuboStatistics:
-    """Compute :class:`QuboStatistics` for ``model``."""
-    coupling = model.coupling
+def qubo_statistics(model: BaseQubo) -> QuboStatistics:
+    """Compute :class:`QuboStatistics` for ``model``.
+
+    All statistics are computed on the *explicitly stored* coupling
+    matrix; a sparse model's factor terms are consistently excluded,
+    matching :func:`qubo_density`.
+    """
     linear = model.effective_linear
-    nonzero = coupling[coupling != 0.0]
+    if isinstance(model, SparseQuboModel):
+        nonzero = model.coupling.data
+    else:
+        coupling = model.coupling
+        nonzero = coupling[coupling != 0.0]
     coupling_scale = float(np.abs(nonzero).mean()) if nonzero.size else 0.0
     linear_scale = float(np.abs(linear).mean()) if linear.size else 0.0
-    row_coupling = np.abs(coupling).sum(axis=1)
+    row_coupling = np.asarray(
+        np.abs(model.coupling).sum(axis=1)
+    ).ravel()
     with np.errstate(divide="ignore", invalid="ignore"):
         ratios = np.where(
             row_coupling > 0, np.abs(linear) / row_coupling, 0.0

@@ -17,6 +17,20 @@ with
 * ``Q_S`` — the community-size balance penalty, Eq. 4,
 * the optional cut reward of Algorithm 1 (weight ``w3``) that adds
   ``-2 w3`` on ``(idx(u,c), idx(v,c))`` for every edge ``(u, v)``.
+
+Assembly is fully vectorized and emits one of two backends behind the
+shared :class:`repro.qubo.model.BaseQubo` interface:
+
+* ``backend="dense"`` — a :class:`QuboModel` holding the full ``(nk, nk)``
+  matrix; coefficients are identical to a naive per-entry construction.
+* ``backend="sparse"`` — a :class:`SparseQuboModel` whose explicit
+  couplings are only the adjacency/cut terms (COO triplets) while the
+  modularity null model and the Eq. 3/4 penalties are stored as low-rank
+  squared-linear-form factors, so nothing O((nk)^2) is ever allocated.
+* ``backend="auto"`` (default) — :func:`select_backend` picks dense for
+  small instances (``nk <= 2048``) and sparse beyond, unless the
+  estimated stored-coefficient density exceeds 25% where sparse storage
+  would not pay.
 """
 
 from __future__ import annotations
@@ -27,8 +41,17 @@ import numpy as np
 
 from repro.exceptions import QuboError
 from repro.graphs.graph import Graph
-from repro.qubo.model import QuboModel
+from repro.qubo.model import BaseQubo, QuboModel
+from repro.qubo.sparse import SparseQuboModel
 from repro.utils.validation import check_integer, check_positive
+
+#: Instances with at most this many variables always use the dense backend
+#: (the dense matrix is small enough that sparse bookkeeping costs more).
+DENSE_VARIABLE_LIMIT = 2048
+
+#: Above :data:`DENSE_VARIABLE_LIMIT`, the sparse backend is selected
+#: unless the estimated stored-coefficient density exceeds this fraction.
+DENSE_DENSITY_LIMIT = 0.25
 
 
 class VariableMap:
@@ -103,11 +126,30 @@ def default_penalties(graph: Graph, n_communities: int) -> tuple[float, float]:
     return lambda_a, lambda_s
 
 
+def select_backend(graph: Graph, n_communities: int) -> str:
+    """Choose the QUBO storage backend for ``graph`` and ``k`` communities.
+
+    Returns ``"dense"`` when ``n * k <= DENSE_VARIABLE_LIMIT`` (small
+    instances where one contiguous matrix wins), or when the estimated
+    stored-coefficient count of the sparse representation —
+    ``2 |E| k`` adjacency couplings plus ``~3 n k`` factor entries — would
+    exceed ``DENSE_DENSITY_LIMIT`` of the full ``(nk)^2`` matrix.
+    Otherwise ``"sparse"``.
+    """
+    nk = graph.n_nodes * n_communities
+    if nk <= DENSE_VARIABLE_LIMIT:
+        return "dense"
+    estimated_nnz = (2 * graph.n_edges + 3 * graph.n_nodes) * n_communities
+    if estimated_nnz > DENSE_DENSITY_LIMIT * float(nk) * float(nk):
+        return "dense"
+    return "sparse"
+
+
 @dataclass(frozen=True)
 class CommunityQubo:
     """A community-detection QUBO plus the metadata needed to decode it."""
 
-    model: QuboModel
+    model: BaseQubo
     variable_map: VariableMap
     graph: Graph
     n_communities: int
@@ -115,6 +157,7 @@ class CommunityQubo:
     lambda_balance: float
     modularity_weight: float
     cut_weight: float
+    backend: str = "dense"
 
     def modularity_of(self, x: np.ndarray) -> float:
         """Exact modularity of a (valid one-hot) flat assignment ``x``."""
@@ -134,6 +177,7 @@ def build_community_qubo(
     lambda_balance: float | None = None,
     modularity_weight: float = 1.0,
     cut_weight: float = 0.0,
+    backend: str = "auto",
 ) -> CommunityQubo:
     """Assemble the paper's community-detection QUBO (Algorithm 1).
 
@@ -154,11 +198,18 @@ def build_community_qubo(
     cut_weight:
         Weight ``w3`` of the optional edge-cut reward (Algorithm 1 line 16);
         0 disables the term, matching the Eq. 5 objective.
+    backend:
+        ``"dense"``, ``"sparse"`` or ``"auto"`` (default).  ``"auto"``
+        applies :func:`select_backend`'s size/density rule; forcing
+        ``"dense"`` or ``"sparse"`` overrides it.  Both backends encode
+        identical energies; the sparse one stores the modularity null
+        model and the Eq. 3/4 penalties as low-rank factors and never
+        allocates an O((nk)^2) array.
 
     Returns
     -------
-    :class:`CommunityQubo` whose :class:`QuboModel` is in *minimisation*
-    form; its optimum corresponds to the maximum of Eq. 5's objective.
+    :class:`CommunityQubo` whose model is in *minimisation* form; its
+    optimum corresponds to the maximum of Eq. 5's objective.
 
     Notes
     -----
@@ -173,6 +224,10 @@ def build_community_qubo(
     k = check_integer(n_communities, "n_communities", minimum=1)
     check_positive(modularity_weight, "modularity_weight", allow_zero=True)
     check_positive(cut_weight, "cut_weight", allow_zero=True)
+    if backend not in ("auto", "dense", "sparse"):
+        raise QuboError(
+            f"backend must be 'auto', 'dense' or 'sparse', got {backend!r}"
+        )
     if lambda_assignment is None or lambda_balance is None:
         auto_a, auto_s = default_penalties(graph, k)
         if lambda_assignment is None:
@@ -187,6 +242,41 @@ def build_community_qubo(
     )
 
     vmap = VariableMap(n, k)
+    if backend == "auto":
+        backend = select_backend(graph, k)
+    build = _build_dense if backend == "dense" else _build_sparse
+    model = build(
+        graph,
+        vmap,
+        float(lambda_assignment),
+        float(lambda_balance),
+        float(modularity_weight),
+        float(cut_weight),
+    )
+    return CommunityQubo(
+        model=model,
+        variable_map=vmap,
+        graph=graph,
+        n_communities=k,
+        lambda_assignment=float(lambda_assignment),
+        lambda_balance=float(lambda_balance),
+        modularity_weight=float(modularity_weight),
+        cut_weight=float(cut_weight),
+        backend=backend,
+    )
+
+
+def _build_dense(
+    graph: Graph,
+    vmap: VariableMap,
+    lambda_assignment: float,
+    lambda_balance: float,
+    modularity_weight: float,
+    cut_weight: float,
+) -> QuboModel:
+    """Dense Algorithm 1 assembly — vectorized, coefficient-identical to a
+    naive per-entry construction."""
+    n, k = vmap.n_nodes, vmap.n_communities
     nk = vmap.n_variables
     quadratic = np.zeros((nk, nk), dtype=np.float64)
     linear = np.zeros(nk, dtype=np.float64)
@@ -207,15 +297,16 @@ def build_community_qubo(
     # Expansion with x^2 = x:
     #   1 - sum_c x_ic + 2 sum_{c<c'} x_ic x_ic'
     # Adding lambda_A to *both* ordered off-diagonal pairs is equivalent to
-    # 2*lambda_A on unordered pairs after symmetrisation.
+    # 2*lambda_A on unordered pairs after symmetrisation.  All n node
+    # blocks are written in one scatter on the (n, k, n, k) view.
     if lambda_assignment > 0:
-        for i in range(n):
-            idx = np.arange(i * k, (i + 1) * k)
-            linear[idx] += -lambda_assignment
-            block = np.ix_(idx, idx)
-            quadratic[block] += lambda_assignment
-            quadratic[idx, idx] -= lambda_assignment
-            offset += lambda_assignment
+        blocks = quadratic.reshape(n, k, n, k)
+        node_idx = np.arange(n)
+        blocks[node_idx, :, node_idx, :] += lambda_assignment
+        diag = np.arange(nk)
+        quadratic[diag, diag] -= lambda_assignment
+        linear -= lambda_assignment
+        offset += n * lambda_assignment
 
     # --- Balance constraint (Eq. 4): lambda_S * (sum_i x_ic - n/k)^2 ----
     if lambda_balance > 0:
@@ -231,21 +322,159 @@ def build_community_qubo(
     # --- Optional cut reward (Algorithm 1, line 16) ----------------------
     if cut_weight > 0:
         edge_u, edge_v, edge_w = graph.edge_arrays()
-        for u, v, w in zip(edge_u.tolist(), edge_v.tolist(), edge_w.tolist()):
-            if u == v:
-                continue
-            for c in range(k):
-                iu, iv = vmap.index(u, c), vmap.index(v, c)
-                quadratic[min(iu, iv), max(iu, iv)] += -2.0 * cut_weight * w
+        off = edge_u != edge_v
+        if off.any():
+            communities = np.arange(k)
+            iu = (edge_u[off, None] * k + communities).ravel()
+            iv = (edge_v[off, None] * k + communities).ravel()
+            values = np.repeat(-2.0 * cut_weight * edge_w[off], k)
+            # Canonical edges have u < v, so iu < iv and all pairs are
+            # distinct: a plain fancy-index add suffices.
+            quadratic[iu, iv] += values
 
-    model = QuboModel(quadratic, linear, offset)
-    return CommunityQubo(
-        model=model,
-        variable_map=vmap,
-        graph=graph,
-        n_communities=k,
-        lambda_assignment=float(lambda_assignment),
-        lambda_balance=float(lambda_balance),
-        modularity_weight=float(modularity_weight),
-        cut_weight=float(cut_weight),
-    )
+    return QuboModel(quadratic, linear, offset)
+
+
+def _build_sparse(
+    graph: Graph,
+    vmap: VariableMap,
+    lambda_assignment: float,
+    lambda_balance: float,
+    modularity_weight: float,
+    cut_weight: float,
+) -> SparseQuboModel:
+    """Sparse Algorithm 1 assembly: COO triplets for the graph-structured
+    couplings, squared-linear-form factors for everything dense.
+
+    The modularity null model ``+w1 d d^T / (2m)^2`` (per community), the
+    assignment penalty (per node) and the balance penalty (per community)
+    are all squared linear forms, so the explicit coupling matrix holds
+    only ``O(|E| k)`` adjacency/cut entries and memory stays linear in
+    the instance instead of quadratic.
+    """
+    from scipy import sparse
+
+    n, k = vmap.n_nodes, vmap.n_communities
+    nk = vmap.n_variables
+    communities = np.arange(k)
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+
+    factor_alpha: list[np.ndarray] = []
+    factor_beta: list[np.ndarray] = []
+    factor_rows: list[np.ndarray] = []
+    factor_cols: list[np.ndarray] = []
+    factor_data: list[np.ndarray] = []
+    next_factor_row = 0
+    # Column layout of one community's variables: idx(i, c) = i*k + c.
+    stride_cols = (np.arange(n, dtype=np.int64)[None, :] * k).ravel()
+
+    edge_u, edge_v, edge_w = graph.edge_arrays()
+    off = edge_u != edge_v
+
+    two_m = 2.0 * graph.total_weight
+    if two_m > 0 and modularity_weight > 0:
+        # Adjacency part -w1 A'_uv / 2m on (u c, v c) for every community,
+        # mirrored so the canonical symmetric coupling matches the dense
+        # builder's block writes exactly.
+        if off.any():
+            iu = (edge_u[off, None] * k + communities).ravel()
+            iv = (edge_v[off, None] * k + communities).ravel()
+            value = np.repeat(
+                (-modularity_weight / two_m) * edge_w[off], k
+            )
+            rows += [iu, iv]
+            cols += [iv, iu]
+            vals += [value, value]
+        loops = ~off
+        if loops.any():
+            # Self-loop diagonal uses the doubled multigraph convention
+            # A'_uu = 2w; diagonal entries fold into the linear term.
+            lu = (edge_u[loops, None] * k + communities).ravel()
+            lval = np.repeat(
+                (-modularity_weight * 2.0 / two_m) * edge_w[loops], k
+            )
+            rows += [lu]
+            cols += [lu]
+            vals += [lval]
+        # Null model +w1 d d^T / (2m)^2 per community: one factor with
+        # coefficients d over that community's variables.
+        factor_rows.append(
+            np.repeat(np.arange(k, dtype=np.int64), n) + next_factor_row
+        )
+        factor_cols.append(
+            (stride_cols[None, :] + communities[:, None]).ravel()
+        )
+        factor_data.append(np.tile(np.asarray(graph.degrees), k))
+        factor_alpha.append(
+            np.full(k, modularity_weight / (two_m * two_m))
+        )
+        factor_beta.append(np.zeros(k))
+        next_factor_row += k
+
+    if lambda_assignment > 0:
+        # lambda_A (sum_c x_ic - 1)^2 per node.
+        factor_rows.append(
+            np.repeat(np.arange(n, dtype=np.int64), k) + next_factor_row
+        )
+        factor_cols.append(np.arange(nk, dtype=np.int64))
+        factor_data.append(np.ones(nk))
+        factor_alpha.append(np.full(n, lambda_assignment))
+        factor_beta.append(np.full(n, -1.0))
+        next_factor_row += n
+
+    if lambda_balance > 0:
+        # lambda_S (sum_i x_ic - n/k)^2 per community.
+        factor_rows.append(
+            np.repeat(np.arange(k, dtype=np.int64), n) + next_factor_row
+        )
+        factor_cols.append(
+            (stride_cols[None, :] + communities[:, None]).ravel()
+        )
+        factor_data.append(np.ones(nk))
+        factor_alpha.append(np.full(k, lambda_balance))
+        factor_beta.append(np.full(k, -n / k))
+        next_factor_row += k
+
+    if cut_weight > 0 and off.any():
+        iu = (edge_u[off, None] * k + communities).ravel()
+        iv = (edge_v[off, None] * k + communities).ravel()
+        # -cut_weight * w per ordered pair == -2 cut_weight * w on the
+        # unordered pair, matching the dense builder after symmetrisation.
+        value = np.repeat(-cut_weight * edge_w[off], k)
+        rows += [iu, iv]
+        cols += [iv, iu]
+        vals += [value, value]
+
+    if rows:
+        quadratic = sparse.coo_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(nk, nk),
+        )
+    else:
+        quadratic = sparse.coo_matrix((nk, nk), dtype=np.float64)
+
+    factors = None
+    if next_factor_row:
+        factor_matrix = sparse.coo_matrix(
+            (
+                np.concatenate(factor_data),
+                (
+                    np.concatenate(factor_rows),
+                    np.concatenate(factor_cols),
+                ),
+            ),
+            shape=(next_factor_row, nk),
+        )
+        factors = (
+            np.concatenate(factor_alpha),
+            factor_matrix,
+            np.concatenate(factor_beta),
+        )
+
+    return SparseQuboModel(quadratic, None, 0.0, factors=factors)

@@ -1,4 +1,4 @@
-"""QUBO model container.
+"""QUBO model containers: the shared backend interface and the dense model.
 
 A Quadratic Unconstrained Binary Optimization problem in minimisation form:
 
@@ -6,17 +6,30 @@ A Quadratic Unconstrained Binary Optimization problem in minimisation form:
 
 The diagonal of ``Q`` is allowed (``x_i^2 == x_i`` makes it effectively
 linear), matching the construction in the paper's Algorithm 1 which writes
-both quadratic couplings and linear terms.  All solvers in
-:mod:`repro.solvers` and :mod:`repro.qhd` consume this class.
+both quadratic couplings and linear terms.
+
+Two storage backends implement one interface, :class:`BaseQubo`:
+
+* :class:`QuboModel` — dense ``n x n`` symmetric coupling; right for small
+  or dense instances (direct Table I solves, branch & bound).
+* :class:`repro.qubo.sparse.SparseQuboModel` — CSR coupling plus optional
+  low-rank "squared linear form" factors; right for the large structured
+  instances of the paper's sparse regime (Fig. 3 and the multilevel base
+  solves), where the dense matrix would be O((nk)^2).
+
+All solvers in :mod:`repro.solvers` and :mod:`repro.qhd` consume
+:class:`BaseQubo`; every hot operation (``evaluate``, ``local_fields``,
+``flip_deltas`` and their batched forms) is a mat-vec against whichever
+storage the instance carries.
 
 Storage is canonicalised at construction into a single symmetric
-zero-diagonal coupling matrix plus an effective linear vector — one ``n x n``
-array per model, which matters for the direct Table I solves where ``n``
-reaches several thousand variables.
+zero-diagonal coupling matrix plus an effective linear vector, so energies
+and fields are directly comparable across backends.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from typing import Iterable
 
 import numpy as np
@@ -25,7 +38,81 @@ from repro.exceptions import QuboError
 from repro.utils.validation import check_square_matrix
 
 
-class QuboModel:
+class BaseQubo(ABC):
+    """Shared interface of the dense and sparse QUBO backends.
+
+    Canonical form across backends: a symmetric zero-diagonal coupling
+    ``S``, an effective linear vector ``c`` (original linear plus the
+    folded ``Q`` diagonal) and a constant ``offset``, with
+
+        E(x) = x^T S x + c^T x + offset.
+
+    Both backends agree on every method below to floating-point accuracy
+    for binary *and* relaxed ``x`` — property-tested in
+    ``tests/qubo/test_equivalence.py`` — so solvers can consume either
+    interchangeably.
+    """
+
+    @property
+    @abstractmethod
+    def n_variables(self) -> int:
+        """Number of binary variables."""
+
+    @property
+    @abstractmethod
+    def effective_linear(self) -> np.ndarray:
+        """Linear coefficients with the quadratic diagonal folded in."""
+
+    @property
+    @abstractmethod
+    def offset(self) -> float:
+        """Constant energy offset."""
+
+    @abstractmethod
+    def evaluate(self, x) -> float:
+        """Energy of one assignment (binary or relaxed in [0, 1])."""
+
+    @abstractmethod
+    def evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Energies of a batch of assignments, shape ``(batch, n)``."""
+
+    @abstractmethod
+    def local_fields(self, x) -> np.ndarray:
+        """Effective field ``h = 2 S x + c`` seen by each variable."""
+
+    @abstractmethod
+    def local_fields_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`local_fields`, shape ``(batch, n)`` in and out."""
+
+    @abstractmethod
+    def flip_delta(self, x, index: int) -> float:
+        """Energy change of flipping bit ``index`` only."""
+
+    @abstractmethod
+    def to_dense(self) -> "QuboModel":
+        """Materialise as a dense :class:`QuboModel` (exact energies)."""
+
+    def flip_deltas(self, x) -> np.ndarray:
+        """Energy change of flipping each bit of binary assignment ``x``.
+
+        ``delta[i] = E(x with bit i flipped) - E(x)``; derived from
+        :meth:`local_fields` in one mat-vec, the workhorse of
+        greedy/local-search refinement.
+        """
+        vec = np.asarray(x, dtype=np.float64)
+        return (1.0 - 2.0 * vec) * self.local_fields(vec)
+
+    def coupling_row_abs_sums(self) -> np.ndarray:
+        """Row sums of ``|S|`` (an upper bound per variable's coupling pull).
+
+        Used by the QHD solver to normalise the energy landscape; sparse
+        backends override this to include their factor terms without
+        densifying.
+        """
+        return np.asarray(np.abs(self.coupling).sum(axis=1)).ravel()
+
+
+class QuboModel(BaseQubo):
     """Minimisation QUBO ``x^T Q x + b^T x + offset`` over binary ``x``.
 
     Parameters
@@ -160,17 +247,6 @@ class QuboModel:
             )
         return 2.0 * (batch @ self._coupling) + self._effective_linear
 
-    def flip_deltas(self, x: np.ndarray) -> np.ndarray:
-        """Energy change of flipping each bit of binary assignment ``x``.
-
-        ``delta[i] = E(x with bit i flipped) - E(x)``; computed for all bits
-        in one matrix-vector product, the workhorse of greedy/local-search
-        refinement.
-        """
-        vec = np.asarray(x, dtype=np.float64)
-        field = self.local_fields(vec)
-        return (1.0 - 2.0 * vec) * field
-
     def flip_delta(self, x: np.ndarray, index: int) -> float:
         """Energy change of flipping bit ``index`` only (O(n))."""
         vec = np.asarray(x, dtype=np.float64)
@@ -183,6 +259,10 @@ class QuboModel:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
+    def to_dense(self) -> "QuboModel":
+        """This model is already dense; returns itself."""
+        return self
+
     def scaled(self, factor: float) -> "QuboModel":
         """A new model with all coefficients multiplied by ``factor``."""
         if not np.isfinite(factor):

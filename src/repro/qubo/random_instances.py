@@ -218,7 +218,9 @@ class PortfolioGenerator:
         graph, _ = planted_partition_graph(
             k, community_size, p_in, p_out, seed=rng
         )
-        cq = build_community_qubo(graph, n_communities=k)
+        # The portfolio's density statistic counts the full coupling
+        # (null-model entries included), so force the dense backend.
+        cq = build_community_qubo(graph, n_communities=k, backend="dense")
         model = cq.model
         coupling = model.coupling
         realized = float(

@@ -1,14 +1,26 @@
-"""Sparse QUBO models (CSR couplings).
+"""Sparse QUBO models (CSR couplings plus optional low-rank factors).
 
 The paper's Figure 3 regime — and its closing discussion of
 "high-performance sparsity computation" — concerns QUBOs whose coupling
 matrices are overwhelmingly zero.  :class:`SparseQuboModel` stores the
 symmetric coupling as ``scipy.sparse.csr_matrix`` and implements the same
-energy/field interface as :class:`repro.qubo.QuboModel`, so the QHD
-solver and the flip-based metaheuristics run on it unchanged (every hot
-operation is a sparse mat-vec).  Exact branch & bound densifies first
-(its column updates are dense by nature); :meth:`to_dense` makes the
-conversion explicit.
+:class:`repro.qubo.model.BaseQubo` interface as the dense
+:class:`repro.qubo.QuboModel`, so the QHD solver and the flip-based
+metaheuristics run on it unchanged (every hot operation is a sparse
+mat-vec).
+
+Structured instances like the community-detection QUBO of Algorithm 1 are
+"sparse plus low rank": the adjacency couplings are sparse, but the
+modularity null model ``d d^T / (2m)^2`` and the Eq. 3/4 penalties are
+sums of *squared linear forms* ``alpha_t (f_t^T x + beta_t)^2`` whose
+dense expansion would fill the whole matrix.  The optional ``factors``
+argument stores those forms explicitly, keeping every operation
+O(nnz(S) + nnz(F)) — this is what lets the detector pipeline build
+million-variable community QUBOs without ever allocating an O((n k)^2)
+array.
+
+Exact branch & bound densifies first (its column updates are dense by
+nature); :meth:`to_dense` makes the conversion explicit.
 """
 
 from __future__ import annotations
@@ -19,10 +31,10 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import QuboError
-from repro.qubo.model import QuboModel
+from repro.qubo.model import BaseQubo, QuboModel
 
 
-class SparseQuboModel:
+class SparseQuboModel(BaseQubo):
     """Minimisation QUBO with a sparse symmetric coupling matrix.
 
     Parameters
@@ -35,6 +47,15 @@ class SparseQuboModel:
         Length-``n`` linear coefficients; defaults to zeros.
     offset:
         Constant energy offset.
+    factors:
+        Optional ``(coefficients, matrix, constants)`` triple adding
+        ``sum_t coefficients[t] * (matrix[t] @ x + constants[t])^2`` to
+        the energy.  ``matrix`` is ``(T, n)`` (sparse or dense);
+        ``coefficients`` and ``constants`` are length ``T``.  The terms
+        are canonicalised exactly like a dense expansion would be: the
+        implied diagonal and linear parts are folded into
+        :attr:`effective_linear` / :attr:`offset`, and only the pure
+        off-diagonal quadratic part remains factorised.
 
     Examples
     --------
@@ -51,6 +72,7 @@ class SparseQuboModel:
         quadratic,
         linear: np.ndarray | Iterable[float] | None = None,
         offset: float = 0.0,
+        factors=None,
     ) -> None:
         matrix = sparse.csr_matrix(quadratic, dtype=np.float64)
         if matrix.shape[0] != matrix.shape[1]:
@@ -78,8 +100,57 @@ class SparseQuboModel:
         coupling = coupling - sparse.diags(diag)
         coupling.eliminate_zeros()
         self._coupling = coupling.tocsr()
-        self._effective_linear = b + diag
-        self._offset = float(offset)
+        effective_linear = b + diag
+        offset = float(offset)
+
+        self._factor_matrix = None
+        self._factor_matrix_t = None
+        self._factor_coefficients = None
+        self._factor_diagonal = None
+        if factors is not None:
+            coefficients, factor_matrix, constants = factors
+            alpha = np.asarray(coefficients, dtype=np.float64)
+            beta = np.asarray(constants, dtype=np.float64)
+            f_mat = sparse.csr_matrix(factor_matrix, dtype=np.float64)
+            if f_mat.shape[1] != n:
+                raise QuboError(
+                    f"factor matrix must have {n} columns, got shape "
+                    f"{f_mat.shape}"
+                )
+            if alpha.shape != (f_mat.shape[0],) or beta.shape != alpha.shape:
+                raise QuboError(
+                    "factor coefficients/constants must match the factor "
+                    f"matrix row count {f_mat.shape[0]}"
+                )
+            if not (
+                np.all(np.isfinite(alpha))
+                and np.all(np.isfinite(beta))
+                and np.all(np.isfinite(f_mat.data))
+            ):
+                raise QuboError("factors must contain only finite values")
+            # Canonicalise alpha_t (f_t.x + beta_t)^2 the way a dense
+            # expansion would: diagonal alpha f_i^2 and linear
+            # 2 alpha beta f_i fold into the effective linear, beta^2
+            # into the offset; the residual factorised quadratic is
+            #     Phi(x) = sum_t alpha_t [ (f_t.x)^2 - sum_i f_ti^2 x_i^2 ]
+            # which is exactly x^T (sum_t alpha_t (f f^T - diag(f^2))) x.
+            squared = f_mat.multiply(f_mat)
+            factor_diag = np.asarray(
+                squared.T @ alpha
+            ).ravel()
+            effective_linear = (
+                effective_linear
+                + factor_diag
+                + np.asarray(f_mat.T @ (2.0 * alpha * beta)).ravel()
+            )
+            offset += float(np.dot(alpha, beta * beta))
+            self._factor_matrix = f_mat
+            self._factor_matrix_t = f_mat.T.tocsr()
+            self._factor_coefficients = alpha
+            self._factor_diagonal = factor_diag
+
+        self._effective_linear = effective_linear
+        self._offset = offset
 
     # ------------------------------------------------------------------
     # Accessors (mirroring QuboModel)
@@ -91,7 +162,11 @@ class SparseQuboModel:
 
     @property
     def coupling(self) -> sparse.csr_matrix:
-        """Symmetric zero-diagonal sparse coupling matrix."""
+        """Explicit symmetric zero-diagonal sparse coupling matrix.
+
+        Factor terms are *not* folded in (that would densify); use
+        :meth:`to_dense` for the full coupling.
+        """
         return self._coupling
 
     @property
@@ -108,8 +183,56 @@ class SparseQuboModel:
 
     @property
     def nnz(self) -> int:
-        """Stored nonzero couplings (symmetric counting)."""
+        """Stored nonzero couplings (symmetric counting, factors excluded)."""
         return int(self._coupling.nnz)
+
+    @property
+    def n_factors(self) -> int:
+        """Number of stored squared-linear-form factor terms."""
+        if self._factor_matrix is None:
+            return 0
+        return int(self._factor_matrix.shape[0])
+
+    # ------------------------------------------------------------------
+    # Factor-term helpers
+    # ------------------------------------------------------------------
+    def _factor_quadratic(self, vec: np.ndarray) -> float:
+        """Factor contribution to ``x^T C x`` for one assignment."""
+        if self._factor_matrix is None:
+            return 0.0
+        projections = self._factor_matrix @ vec
+        return float(
+            np.dot(self._factor_coefficients, projections * projections)
+            - np.dot(self._factor_diagonal, vec * vec)
+        )
+
+    def _factor_quadratic_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Factor contribution to ``x^T C x`` for a batch (rows)."""
+        if self._factor_matrix is None:
+            return np.zeros(len(batch), dtype=np.float64)
+        projections = batch @ self._factor_matrix_t  # (batch, T)
+        return (
+            (projections * projections) @ self._factor_coefficients
+            - (batch * batch) @ self._factor_diagonal
+        )
+
+    def _factor_matvec(self, vec: np.ndarray) -> np.ndarray:
+        """Factor contribution to ``C x`` (for local fields)."""
+        if self._factor_matrix is None:
+            return np.zeros_like(vec)
+        weighted = self._factor_coefficients * (self._factor_matrix @ vec)
+        return np.asarray(
+            self._factor_matrix_t @ weighted
+        ).ravel() - self._factor_diagonal * vec
+
+    def _factor_matvec_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_factor_matvec` over rows."""
+        if self._factor_matrix is None:
+            return np.zeros_like(batch)
+        weighted = (
+            batch @ self._factor_matrix_t
+        ) * self._factor_coefficients  # (batch, T)
+        return weighted @ self._factor_matrix - batch * self._factor_diagonal
 
     # ------------------------------------------------------------------
     # Energies (same contracts as QuboModel)
@@ -123,6 +246,7 @@ class SparseQuboModel:
             )
         return float(
             vec @ (self._coupling @ vec)
+            + self._factor_quadratic(vec)
             + self._effective_linear @ vec
             + self._offset
         )
@@ -137,6 +261,7 @@ class SparseQuboModel:
             )
         sx = self._coupling.dot(batch.T).T  # (batch, n)
         quad = np.einsum("bi,bi->b", batch, sx)
+        quad += self._factor_quadratic_batch(batch)
         return quad + batch @ self._effective_linear + self._offset
 
     def local_fields(self, x) -> np.ndarray:
@@ -146,7 +271,8 @@ class SparseQuboModel:
             raise QuboError(
                 f"x must have shape ({self.n_variables},), got {vec.shape}"
             )
-        return 2.0 * self._coupling.dot(vec) + self._effective_linear
+        product = self._coupling.dot(vec) + self._factor_matvec(vec)
+        return 2.0 * product + self._effective_linear
 
     def local_fields_batch(self, xs: np.ndarray) -> np.ndarray:
         """Batched :meth:`local_fields`."""
@@ -156,14 +282,10 @@ class SparseQuboModel:
                 f"xs must have shape (batch, {self.n_variables}), "
                 f"got {batch.shape}"
             )
-        return (
-            2.0 * self._coupling.dot(batch.T).T + self._effective_linear
+        product = self._coupling.dot(batch.T).T + self._factor_matvec_batch(
+            batch
         )
-
-    def flip_deltas(self, x) -> np.ndarray:
-        """Energy change of flipping each bit."""
-        vec = np.asarray(x, dtype=np.float64)
-        return (1.0 - 2.0 * vec) * self.local_fields(vec)
+        return 2.0 * product + self._effective_linear
 
     def flip_delta(self, x, index: int) -> float:
         """Energy change of flipping bit ``index`` (sparse row access)."""
@@ -172,6 +294,13 @@ class SparseQuboModel:
         field = 2.0 * float(row.dot(vec)[0]) + float(
             self._effective_linear[index]
         )
+        if self._factor_matrix is not None:
+            column = self._factor_matrix.getcol(index)
+            projections = self._factor_matrix @ vec
+            factor_field = float(
+                column.T.dot(self._factor_coefficients * projections)[0]
+            ) - float(self._factor_diagonal[index]) * float(vec[index])
+            field += 2.0 * factor_field
         return (1.0 - 2.0 * vec[index]) * field
 
     # ------------------------------------------------------------------
@@ -179,8 +308,18 @@ class SparseQuboModel:
     # ------------------------------------------------------------------
     def to_dense(self) -> QuboModel:
         """Materialise as a dense :class:`QuboModel` (exact energies)."""
+        dense = self._coupling.toarray()
+        if self._factor_matrix is not None:
+            dense += (
+                self._factor_matrix.T
+                @ sparse.diags(self._factor_coefficients)
+                @ self._factor_matrix
+            ).toarray()
+            np.fill_diagonal(
+                dense, dense.diagonal() - self._factor_diagonal
+            )
         return QuboModel(
-            self._coupling.toarray(),
+            dense,
             self._effective_linear,
             self._offset,
         )
@@ -195,14 +334,42 @@ class SparseQuboModel:
         )
 
     def density(self) -> float:
-        """Fraction of nonzero off-diagonal couplings."""
+        """Fraction of explicitly stored nonzero off-diagonal couplings."""
         n = self.n_variables
         if n < 2:
             return 0.0
         return self.nnz / (n * (n - 1))
 
+    def coupling_row_abs_sums(self) -> np.ndarray:
+        """Row sums of the full ``|C|``, factor terms bounded per row.
+
+        For the factor part the triangle inequality gives
+        ``sum_j |C^F_ij| <= sum_t |alpha_t| |f_ti| (sum_j |f_tj| - |f_ti|)``,
+        which is exact when each factor's couplings do not cancel against
+        the explicit ones — good enough for the QHD energy-scale heuristic
+        without densifying.
+        """
+        totals = np.asarray(np.abs(self._coupling).sum(axis=1)).ravel()
+        if self._factor_matrix is not None:
+            abs_f = self._factor_matrix.copy()
+            abs_f.data = np.abs(abs_f.data)
+            abs_alpha = np.abs(self._factor_coefficients)
+            row_totals = np.asarray(abs_f.sum(axis=1)).ravel()  # (T,)
+            # per variable i: sum_t |alpha_t| |f_ti| (s_t - |f_ti|)
+            weighted = abs_f.multiply(
+                (abs_alpha * row_totals)[:, None]
+            ).sum(axis=0)
+            squared = abs_f.multiply(abs_f).multiply(
+                abs_alpha[:, None]
+            ).sum(axis=0)
+            totals += np.asarray(weighted).ravel() - np.asarray(
+                squared
+            ).ravel()
+        return totals
+
     def __repr__(self) -> str:
         return (
             f"SparseQuboModel(n_variables={self.n_variables}, "
-            f"nnz={self.nnz}, offset={self._offset:g})"
+            f"nnz={self.nnz}, n_factors={self.n_factors}, "
+            f"offset={self._offset:g})"
         )

@@ -1,6 +1,10 @@
 """Common interface for all QUBO solvers (classical and quantum-inspired).
 
-Every solver consumes a :class:`repro.qubo.QuboModel` and returns a
+Every solver consumes a :class:`repro.qubo.model.BaseQubo` — the dense
+:class:`repro.qubo.QuboModel` or the sparse
+:class:`repro.qubo.SparseQuboModel` interchangeably, since the hot
+operations (``evaluate``, ``local_fields``, ``flip_deltas`` and their
+batched forms) are part of the shared interface — and returns a
 :class:`SolveResult` carrying the assignment, its energy, a status flag and
 wall-clock timing.  The status flags mirror the solver states the paper's
 methodology distinguishes: ``OPTIMAL`` (proved), ``TIME_LIMIT`` (incumbent
@@ -19,8 +23,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.qubo.model import QuboModel
-from repro.qubo.sparse import SparseQuboModel
+from repro.qubo.model import BaseQubo
 
 
 class SolverStatus(enum.Enum):
@@ -89,14 +92,14 @@ class QuboSolver(ABC):
     name: str = "solver"
 
     @abstractmethod
-    def solve(self, model: QuboModel) -> SolveResult:
+    def solve(self, model: BaseQubo) -> SolveResult:
         """Minimise ``model`` and return a :class:`SolveResult`."""
 
-    def _validate_model(self, model: QuboModel) -> QuboModel:
-        if not isinstance(model, (QuboModel, SparseQuboModel)):
+    def _validate_model(self, model: BaseQubo) -> BaseQubo:
+        if not isinstance(model, BaseQubo):
             raise SolverError(
-                f"{self.name} expects a QuboModel or SparseQuboModel, "
-                f"got {type(model).__name__}"
+                f"{self.name} expects a BaseQubo model (QuboModel or "
+                f"SparseQuboModel), got {type(model).__name__}"
             )
         if model.n_variables == 0:
             raise SolverError("cannot solve a QUBO with zero variables")

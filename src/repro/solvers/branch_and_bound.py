@@ -76,9 +76,12 @@ class BranchAndBoundSolver(QuboSolver):
 
     def solve(self, model: QuboModel) -> SolveResult:
         model = self._validate_model(model)
-        if hasattr(model, "to_dense"):
-            # Branch & bound's column updates are dense by nature.
-            model = model.to_dense()
+        # Branch & bound is the one solver that *must* densify: its
+        # incremental column updates (_fix/_unfix) touch whole coupling
+        # columns, which is dense by nature.  BaseQubo.to_dense() is a
+        # no-op on already-dense models and an explicit, documented
+        # materialisation for sparse ones.
+        model = model.to_dense()
         watch = Stopwatch().start()
         budget = TimeBudget(self.time_limit)
         n = model.n_variables

@@ -51,6 +51,28 @@ class TestHybridEdgeScores:
         with pytest.raises(ValueError):
             hybrid_edge_scores(Graph(2, [(0, 1)]), alpha=-1.0)
 
+    def test_does_not_mutate_graph_with_self_loops(self):
+        """Regression: scoring must not corrupt the (immutable) graph.
+
+        The vectorized implementation mutates a sparse adjacency copy
+        (setdiag/eliminate_zeros); with shared CSR buffers this used to
+        rewrite the coarse graph's self-loop weights in place.
+        """
+        from repro.graphs.coarsen import coarsen_graph, heavy_edge_matching
+
+        fine = Graph(4, [(0, 1, 5.0), (2, 3, 5.0), (0, 2, 1.0), (1, 3, 1.0)])
+        coarse = coarsen_graph(fine).coarse_graph
+        weights_before = [
+            coarse.edge_weight(i, i) for i in range(coarse.n_nodes)
+        ]
+        degrees_before = coarse.degrees.copy()
+        heavy_edge_matching(coarse)
+        weights_after = [
+            coarse.edge_weight(i, i) for i in range(coarse.n_nodes)
+        ]
+        assert weights_after == weights_before
+        np.testing.assert_array_equal(coarse.degrees, degrees_before)
+
 
 class TestHeavyEdgeMatching:
     def test_matching_is_symmetric(self, planted_graph):

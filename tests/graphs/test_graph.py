@@ -183,6 +183,87 @@ class TestStructure:
             tiny_graph.subgraph([0, 0])
 
 
+class TestVectorizedPaths:
+    def test_ndarray_edge_input(self):
+        arr = np.array([[0, 1, 2.0], [1, 2, 3.0], [0, 1, 1.0]])
+        g = Graph(3, arr)
+        assert g.n_edges == 2
+        assert g.edge_weight(0, 1) == 3.0  # duplicates merged
+
+    def test_ndarray_without_weights(self):
+        g = Graph(3, np.array([[0, 1], [1, 2]]))
+        assert g.total_weight == 2.0
+
+    def test_mixed_tuple_lengths(self):
+        g = Graph(3, [(0, 1), (1, 2, 2.0)])
+        assert g.edge_weight(0, 1) == 1.0
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_from_arrays_equals_tuple_constructor(self):
+        rng = np.random.default_rng(0)
+        n, m = 60, 300
+        u = rng.integers(0, n, size=m)
+        v = rng.integers(0, n, size=m)
+        w = rng.random(m) + 0.1
+        from_tuples = Graph(n, list(zip(u.tolist(), v.tolist(), w.tolist())))
+        from_arrays = Graph.from_arrays(n, u, v, w)
+        assert from_tuples == from_arrays
+
+    def test_from_arrays_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphError, match="equal lengths"):
+            Graph.from_arrays(3, np.array([0]), np.array([1, 2]))
+
+    def test_from_arrays_validates_bounds(self):
+        with pytest.raises(GraphError, match="outside"):
+            Graph.from_arrays(2, np.array([0]), np.array([5]))
+
+    def test_neighbors_sorted_ascending(self):
+        rng = np.random.default_rng(1)
+        n, m = 40, 200
+        g = Graph.from_arrays(
+            n, rng.integers(0, n, size=m), rng.integers(0, n, size=m)
+        )
+        for node in range(n):
+            nbs = g.neighbors(node)
+            assert np.all(nbs[:-1] <= nbs[1:])
+
+    def test_edge_queries_match_adjacency_matrix(self):
+        rng = np.random.default_rng(2)
+        n, m = 30, 120
+        g = Graph.from_arrays(
+            n,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.random(m),
+        )
+        a = g.adjacency_matrix()
+        for u in range(n):
+            for v in range(n):
+                assert g.has_edge(u, v) == (a[u, v] != 0.0)
+                assert np.isclose(g.edge_weight(u, v), a[u, v])
+
+    def test_components_ordered_by_smallest_member(self):
+        g = Graph(6, [(4, 5), (0, 3), (1, 2)])
+        comps = g.connected_components()
+        assert [int(c[0]) for c in comps] == [0, 1, 4]
+        for comp in comps:
+            assert np.all(comp[:-1] <= comp[1:])
+
+    def test_components_empty_graph(self):
+        assert Graph(0).connected_components() == []
+
+    def test_subgraph_rejects_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError, match="lie in"):
+            tiny_graph.subgraph([0, 99])
+
+    def test_subgraph_preserves_weights_and_loops(self):
+        g = Graph(4, [(0, 0, 2.0), (0, 1, 1.5), (2, 3)])
+        sub, _ = g.subgraph([0, 1])
+        assert sub.edge_weight(0, 0) == 2.0
+        assert sub.edge_weight(0, 1) == 1.5
+        assert sub.n_edges == 2
+
+
 class TestConversions:
     def test_networkx_roundtrip(self, tiny_graph):
         nx_graph = tiny_graph.to_networkx()
