@@ -1,0 +1,149 @@
+"""BATCH — ``repro.api.detect_batch`` fan-out throughput.
+
+Not a paper artefact: this bench guards the batch-submission path of the
+``repro.api`` facade.  It runs one declarative spec (QHD-pipeline
+detector + seeded simulated annealing) over a batch of LFR graphs with 1
+worker and with N workers, and reports wall time plus speedup — the
+numbers behind the ROADMAP's "serve many scenarios concurrently" goal.
+
+Besides the usual text report it writes
+``benchmarks/results/batch.json`` (next to ``construction.json``) with
+the shape::
+
+    {"benchmark": "batch", "n_graphs": ..., "n_nodes": ...,
+     "spec": {...}, "results": [{"label": "workers_1", "seconds": ...},
+     {"label": "workers_4", "seconds": ...}], "speedup": ...}
+
+Run standalone with ``python benchmarks/bench_batch.py [--quick]``
+(``--quick`` forces a small batch for CI) or through pytest like the
+other ``bench_*`` modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import bench_scale, save_report  # noqa: E402
+
+
+def _spec(n_communities: int) -> dict:
+    return {
+        "detector": "qhd",
+        "solver": "simulated-annealing",
+        "solver_config": {"n_sweeps": 60, "n_restarts": 2},
+        "n_communities": n_communities,
+        "seed": 7,
+    }
+
+
+def run_batch(scale: float, n_communities: int = 3) -> dict:
+    """Time detect_batch at 1 vs N workers and return the JSON report."""
+    import repro.api as api
+    from repro.graphs.lfr import lfr_graph
+
+    n_graphs = max(4, int(round(16 * scale)))
+    n_nodes = max(60, int(round(200 * scale)))
+    graphs = [
+        lfr_graph(n_nodes, mixing=0.1, seed=100 + i)[0]
+        for i in range(n_graphs)
+    ]
+    spec = _spec(n_communities)
+    n_workers = min(4, os.cpu_count() or 1)
+
+    results = []
+    baseline = None
+    # dict.fromkeys dedups (1, 1) on single-core machines.
+    for workers in dict.fromkeys((1, n_workers)):
+        start = time.perf_counter()
+        artifacts = api.detect_batch(graphs, spec, max_workers=workers)
+        seconds = time.perf_counter() - start
+        results.append(
+            {"label": f"workers_{workers}", "seconds": seconds}
+        )
+        labels = [a.result.labels for a in artifacts]
+        if baseline is None:
+            baseline = labels
+        else:
+            # Fan-out must not change the seeded partitions.
+            assert all(
+                (a == b).all() for a, b in zip(labels, baseline)
+            ), "parallel batch diverged from the serial run"
+
+    return {
+        "benchmark": "batch",
+        "scale": scale,
+        "n_graphs": n_graphs,
+        "n_nodes": n_nodes,
+        "n_workers": n_workers,
+        "spec": spec,
+        "results": results,
+        "speedup": results[0]["seconds"] / max(1e-9, results[-1]["seconds"]),
+    }
+
+
+def report_text(report: dict) -> str:
+    """Human-readable table of one batch run."""
+    lines = [
+        "BATCH — api.detect_batch fan-out throughput",
+        f"batch: {report['n_graphs']} LFR graphs x "
+        f"{report['n_nodes']} nodes, spec solver "
+        f"{report['spec']['solver']}",
+        "-" * 46,
+    ]
+    for row in report["results"]:
+        lines.append(f"{row['label']:<16} {row['seconds'] * 1e3:>10.2f} ms")
+    lines.append(f"speedup          {report['speedup']:>10.2f} x")
+    return "\n".join(lines)
+
+
+def save_json(report: dict) -> Path:
+    """Persist the JSON report under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "batch.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def test_batch(benchmark):
+    """pytest-benchmark entry point, consistent with the other benches."""
+    scale = min(bench_scale(), 0.5)  # cap pytest runs at 8 graphs
+    report = benchmark.pedantic(
+        run_batch, args=(scale,), rounds=1, iterations=1
+    )
+    save_report("batch", report_text(report))
+    path = save_json(report)
+    print(f"[json saved to {path}]")
+
+    assert report["n_graphs"] >= 4
+    labels = {row["label"] for row in report["results"]}
+    assert "workers_1" in labels
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="force a small batch regardless of REPRO_BENCH_SCALE — "
+        "used by CI",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.3 if args.quick else bench_scale()
+    report = run_batch(scale)
+    save_report("batch", report_text(report))
+    path = save_json(report)
+    print(f"[json saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    sys.exit(main())

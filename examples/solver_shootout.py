@@ -1,10 +1,10 @@
 """Scenario: the paper's time-matched QUBO solver comparison (§V-B).
 
-Reproduces the evaluation methodology on a handful of instances: QHD runs
-first; the exact branch & bound (our GUROBI substitute) then receives
-QHD's wall-clock time as its budget.  Instances where the exact solver
-proves optimality audit QHD's accuracy; instances where it times out
-show QHD's scalability advantage.
+Reproduces the evaluation methodology on a handful of instances using
+the ``repro.api`` registry: QHD runs first; every classical contender
+(resolved by registered name) then receives QHD's wall-clock time as its
+budget.  Instances where the exact solver proves optimality audit QHD's
+accuracy; instances where it times out show QHD's scalability advantage.
 
 Run:
     python examples/solver_shootout.py
@@ -12,15 +12,17 @@ Run:
 
 from __future__ import annotations
 
+import repro.api as api
 from repro.experiments.reporting import format_table
-from repro.qhd import QhdSolver
 from repro.qubo import random_qubo
-from repro.solvers import (
-    BranchAndBoundSolver,
-    GreedySolver,
-    SimulatedAnnealingSolver,
-    TabuSolver,
-)
+
+#: (registry name, extra config) for each time-budgeted contender.
+CONTENDERS = [
+    ("branch-and-bound", {}),
+    ("simulated-annealing", {"n_sweeps": 300, "n_restarts": 4}),
+    ("tabu", {"n_iterations": 10**6}),
+    ("greedy", {"n_restarts": 16}),
+]
 
 
 def main() -> None:
@@ -33,21 +35,25 @@ def main() -> None:
     for name, n, density, seed in cases:
         model = random_qubo(n, density, seed=seed)
 
-        qhd = QhdSolver(
-            n_samples=24, n_steps=100, grid_points=16, seed=0
+        qhd = api.build_solver(
+            "qhd",
+            {"n_samples": 24, "n_steps": 100, "grid_points": 16},
+            seed=0,
         ).solve(model)
         budget = max(1.0, qhd.wall_time)
 
-        exact = BranchAndBoundSolver(time_limit=budget).solve(model)
-        annealer = SimulatedAnnealingSolver(
-            n_sweeps=300, n_restarts=4, time_limit=budget, seed=0
-        ).solve(model)
-        tabu = TabuSolver(
-            n_iterations=10**6, time_limit=budget, seed=0
-        ).solve(model)
-        greedy = GreedySolver(n_restarts=16, seed=0).solve(model)
+        results = [qhd]
+        for solver_name, config in CONTENDERS:
+            seeded = "seed" in api.SOLVERS.get(solver_name).config_fields()
+            solver = api.build_solver(
+                solver_name,
+                config,
+                seed=0 if seeded else None,
+                time_limit=budget,
+            )
+            results.append(solver.solve(model))
 
-        for result in (qhd, exact, annealer, tabu, greedy):
+        for result in results:
             rows.append(
                 [
                     name,

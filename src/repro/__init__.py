@@ -3,18 +3,37 @@
 Reproduction of *"Scalable Community Detection Using Quantum Hamiltonian
 Descent and QUBO Formulation"* (DAC 2025, arXiv:2411.14696).
 
-Quickstart::
+The supported entry point is the :mod:`repro.api` facade: one
+JSON-serialisable spec dict names the detector, the solver and their
+configs, and the facade builds everything through the plugin registries
+and returns a structured, serialisable run artifact::
 
-    from repro import QhdCommunityDetector
+    import repro.api as api
     from repro.graphs import planted_partition_graph
 
     graph, truth = planted_partition_graph(4, 30, 0.3, 0.02, seed=7)
-    detector = QhdCommunityDetector(seed=7)
-    result = detector.detect(graph, n_communities=4)
-    print(result.modularity, result.n_communities)
+    spec = {
+        "detector": "qhd",                      # api.DETECTORS name
+        "solver": "simulated-annealing",        # api.SOLVERS name
+        "solver_config": {"n_sweeps": 100},
+        "n_communities": 4,
+        "seed": 7,
+    }
+    artifact = api.detect(graph, spec)          # one graph
+    artifacts = api.detect_batch(                # many graphs, thread pool
+        [graph] * 8, spec, max_workers=4)
+    print(artifact.result.modularity, artifact.to_json())
+
+The same spec file drives the CLI (``repro detect --spec spec.json``);
+``repro --list-solvers`` enumerates both registries.  The classic
+object-oriented surface (below) remains available for fine-grained
+control and is what the registries construct under the hood.
 
 Packages
 --------
+``repro.api``
+    The unified facade: solver/detector registries, config round-trips,
+    RunSpec/RunArtifact, single and batch spec execution.
 ``repro.graphs``
     Graph substrate: CSR graphs, generators, IO, coarsening.
 ``repro.qubo``

@@ -1,0 +1,224 @@
+"""Plugin registries mapping public names to solver/detector classes.
+
+Every QUBO solver and community detector self-registers under its public
+name via the decorator form::
+
+    from repro.api.registry import SOLVERS
+
+    @SOLVERS.register("qhd")
+    class QhdSolver(QuboSolver):
+        ...
+
+so there is exactly one name table in the library — the CLI, the
+experiments and the batch runner all resolve names through
+:data:`SOLVERS` / :data:`DETECTORS` instead of maintaining private
+solver dicts.  Registries populate lazily: the first lookup imports the
+implementing modules, so ``repro.api`` stays import-cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.api.config import Configurable
+from repro.exceptions import ReproError
+
+
+class RegistryError(ReproError):
+    """Raised for unknown names or conflicting registrations."""
+
+
+class Registry:
+    """A name -> class table with decorator registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable entry kind (``"solver"``, ``"detector"``) used in
+        error messages.
+    populate:
+        Zero-argument callable importing the modules whose classes
+        register themselves; invoked once, on first lookup.
+    """
+
+    def __init__(
+        self, kind: str, populate: Callable[[], None] | None = None
+    ) -> None:
+        self.kind = kind
+        self._entries: dict[str, type] = {}
+        self._populate = populate
+        self._populated = populate is None
+        self._lock = threading.RLock()
+
+    def _ensure_populated(self) -> None:
+        if self._populated:
+            return
+        # The RLock makes concurrent first lookups (e.g. detect_batch
+        # worker threads) wait for one full population instead of
+        # reading a half-filled table.  Re-entrant lookups during the
+        # imports run on the populating thread, so they re-acquire the
+        # lock and fall through on the cleared callback; it is restored
+        # on failure so the next lookup retries instead of misreporting
+        # an empty registry.
+        with self._lock:
+            populate = self._populate
+            if self._populated or populate is None:
+                return
+            self._populate = None
+            try:
+                populate()
+            except BaseException:
+                self._populate = populate
+                raise
+            self._populated = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str) -> Callable[[type], type]:
+        """Class decorator registering ``cls`` under ``name``."""
+
+        def decorate(cls: type) -> type:
+            existing = self._entries.get(name)
+            if existing is not None and existing is not cls:
+                raise RegistryError(
+                    f"duplicate {self.kind} registration {name!r}: "
+                    f"{existing.__name__} is already registered"
+                )
+            self._entries[name] = cls
+            return cls
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def available(self) -> tuple[str, ...]:
+        """Sorted public names of every registered class."""
+        self._ensure_populated()
+        return tuple(sorted(self._entries))
+
+    def get(self, name: str) -> type:
+        """The class registered under ``name``."""
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.available()) or "<none>"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: {known}"
+            ) from None
+
+    def create(self, name: str, **config: Any):
+        """Instantiate the class registered under ``name``.
+
+        ``config`` goes through the class's ``from_config``, so unknown
+        keys are rejected with the list of known ones.
+        """
+        return self.get(name).from_config(config)
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(self.available())
+        return f"Registry(kind={self.kind!r}, entries=[{names}])"
+
+
+def _populate_solvers() -> None:
+    import repro.qhd.solver  # noqa: F401
+    import repro.solvers  # noqa: F401
+
+
+def _populate_detectors() -> None:
+    import repro.community  # noqa: F401
+
+
+#: All QUBO solvers, by public name (``qhd``, ``simulated-annealing``, ...).
+SOLVERS = Registry("solver", populate=_populate_solvers)
+
+#: All community detectors, by public name (``qhd``, ``direct``, ...).
+DETECTORS = Registry("detector", populate=_populate_detectors)
+
+
+def resolve_solver(value: Any):
+    """Normalise a solver reference into a solver instance (or ``None``).
+
+    Accepts ``None`` (pass through), an already-built solver instance, a
+    registered name string, or a spec dict ``{"name": ..., "config":
+    {...}}``.  This is the coercion detectors apply to their ``solver``
+    config entry, so one JSON spec can describe a whole pipeline.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return SOLVERS.create(value)
+    if isinstance(value, dict):
+        unknown = sorted(set(value) - {"name", "config"})
+        if unknown:
+            raise RegistryError(
+                f"solver spec supports keys 'name' and 'config', "
+                f"got unknown keys {unknown}"
+            )
+        if "name" not in value:
+            raise RegistryError("solver spec dict requires a 'name' key")
+        return SOLVERS.create(value["name"], **(value.get("config") or {}))
+    return value
+
+
+def solver_to_spec(solver: Any) -> Any:
+    """Inverse of :func:`resolve_solver` for registered solver instances.
+
+    Lowers a solver built from the registry back into its ``{"name":
+    ..., "config": {...}}`` spec dict so detector configs stay
+    JSON-serialisable; ``None`` and unregistered instances pass through.
+    """
+    if solver is None:
+        return None
+    name = getattr(solver, "name", None)
+    if (
+        isinstance(name, str)
+        and name in SOLVERS
+        and type(solver) is SOLVERS.get(name)
+    ):
+        return {"name": name, "config": solver.to_config()}
+    return solver
+
+
+class SolverConfigurable(Configurable):
+    """Configurable whose ``solver`` config entry is a solver reference.
+
+    The shared config behaviour of every community detector:
+    ``from_config`` coerces the ``solver`` entry through
+    :func:`resolve_solver` (name string, ``{"name", "config"}`` spec
+    dict, live instance or ``None``) plus any ``_nested_configs``
+    entries from their dict form, and ``to_config`` lowers the solver
+    back to a JSON-safe spec dict via :func:`solver_to_spec`.
+    """
+
+    #: Config key -> Configurable class; dict values for these keys are
+    #: coerced through the class's ``from_config``.
+    _nested_configs: dict[str, type] = {}
+
+    @classmethod
+    def _coerce_config(cls, config: dict[str, Any]) -> dict[str, Any]:
+        config["solver"] = resolve_solver(config.get("solver"))
+        for key, nested_cls in cls._nested_configs.items():
+            value = config.get(key)
+            if isinstance(value, dict):
+                config[key] = nested_cls.from_config(value)
+        return config
+
+    def to_config(self) -> dict[str, Any]:
+        config = super().to_config()
+        config["solver"] = solver_to_spec(config["solver"])
+        return config

@@ -6,9 +6,13 @@ Two subcommands::
     repro bench   --experiment fig3|fig4|table1|table2|fig5|fig6 [--scale S]
 
 ``detect`` runs the paper's pipeline on an edge-list file and prints the
-assignment plus quality metrics.  ``bench`` regenerates one evaluation
-artefact at a chosen scale and prints the report.  Both are also callable
-programmatically via :func:`main`.
+assignment plus quality metrics; ``--spec spec.json`` drives the run from
+a declarative :class:`repro.api.RunSpec` instead of individual flags, and
+``--artifact out.json`` persists the full :class:`repro.api.RunArtifact`.
+``bench`` regenerates one evaluation artefact at a chosen scale and
+prints the report.  ``repro --list-solvers`` enumerates every registered
+solver and detector.  Everything resolves through the
+:mod:`repro.api` registries — there is no CLI-private solver table.
 """
 
 from __future__ import annotations
@@ -20,50 +24,34 @@ from typing import Sequence
 import numpy as np
 
 
-def _build_solver(name: str, seed: int | None, time_limit: float):
-    """Instantiate a solver by CLI name."""
-    from repro.qhd.solver import QhdSolver
-    from repro.solvers import (
-        BranchAndBoundSolver,
-        GreedySolver,
-        SimulatedAnnealingSolver,
-        TabuSolver,
-    )
+class _ListSolversAction(argparse.Action):
+    """``--list-solvers``: print the registries and exit (like --version)."""
 
-    solvers = {
-        "qhd": lambda: QhdSolver(seed=seed),
-        "branch-and-bound": lambda: BranchAndBoundSolver(
-            time_limit=time_limit
-        ),
-        "simulated-annealing": lambda: SimulatedAnnealingSolver(seed=seed),
-        "tabu": lambda: TabuSolver(seed=seed),
-        "greedy": lambda: GreedySolver(seed=seed),
-    }
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.api import DETECTORS, SOLVERS
+
+        print("solvers:   " + " ".join(SOLVERS.available()))
+        print("detectors: " + " ".join(DETECTORS.available()))
+        parser.exit(0)
+
+
+def _build_solver(name: str, seed: int | None, time_limit: float | None):
+    """Instantiate a solver by registry name.
+
+    ``seed`` and ``time_limit`` are threaded into every solver that
+    accepts them (all of them except brute-force's ``time_limit``);
+    unsupported knobs warn instead of being silently dropped.
+    """
+    from repro.api import RegistryError, build_solver
+
     try:
-        return solvers[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown solver {name!r}; choose from {sorted(solvers)}"
-        ) from None
+        return build_solver(name, seed=seed, time_limit=time_limit)
+    except RegistryError as error:
+        raise SystemExit(str(error)) from None
 
 
-def _cmd_detect(args: argparse.Namespace) -> int:
-    from repro.community.detector import QhdCommunityDetector
+def _print_result(graph, result, output, print_labels) -> None:
     from repro.community.metrics import partition_summary
-    from repro.graphs.io import read_edge_list
-
-    graph = read_edge_list(args.input, weighted=args.weighted)
-    print(
-        f"loaded {args.input}: {graph.n_nodes} nodes, "
-        f"{graph.n_edges} edges"
-    )
-    solver = _build_solver(args.solver, args.seed, args.time_limit)
-    detector = QhdCommunityDetector(
-        solver=solver,
-        direct_threshold=args.direct_threshold,
-        seed=args.seed,
-    )
-    result = detector.detect(graph, n_communities=args.communities)
 
     print(f"method:      {result.method}")
     print(f"modularity:  {result.modularity:.4f}")
@@ -74,11 +62,152 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     print(
         f"sizes:       min {summary.min_size}, max {summary.max_size}"
     )
-    if args.output:
-        np.savetxt(args.output, result.labels, fmt="%d")
-        print(f"labels written to {args.output}")
-    elif args.print_labels:
+    if output:
+        np.savetxt(output, result.labels, fmt="%d")
+        print(f"labels written to {output}")
+    elif print_labels:
         print("labels:", " ".join(str(c) for c in result.labels))
+
+
+def _merge_spec_overrides(spec, args: argparse.Namespace):
+    """Apply explicitly-given CLI flags on top of a loaded RunSpec.
+
+    ``--communities``/``--seed`` replace the spec's values;
+    ``--time-limit`` and ``--direct-threshold`` are merged into the
+    solver/detector configs when the spec's classes accept them and the
+    spec does not already pin them, and warn otherwise — no flag is
+    silently dropped.
+    """
+    import warnings
+
+    import repro.api as api
+
+    if args.communities is not None:
+        spec = spec.replace(n_communities=args.communities)
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+    if args.time_limit is not None:
+        detector_cls = (
+            api.DETECTORS.get(spec.detector)
+            if spec.detector in api.DETECTORS
+            else None
+        )
+        shaping = {"solver"} | set(
+            getattr(detector_cls, "default_solver_fields", ())
+        )
+        if (
+            spec.solver is None
+            and detector_cls is not None
+            and "solver" in detector_cls.config_fields()
+            and not (shaping & set(spec.detector_config))
+        ):
+            # The spec relies on the detector's default QHD solver and
+            # does not customise it (no shaping fields set), so the
+            # default is exactly a default-configured "qhd" — name it
+            # explicitly so the budget can be threaded in, just like
+            # the flag-driven path does.
+            spec = spec.replace(
+                solver="qhd",
+                solver_config={"time_limit": args.time_limit},
+            )
+        else:
+            solver_fields = (
+                api.SOLVERS.get(spec.solver).config_fields()
+                if spec.solver is not None and spec.solver in api.SOLVERS
+                else ()
+            )
+            if (
+                "time_limit" in solver_fields
+                and "time_limit" not in spec.solver_config
+            ):
+                spec = spec.replace(
+                    solver_config={
+                        **spec.solver_config, "time_limit": args.time_limit
+                    }
+                )
+            else:
+                warnings.warn(
+                    "--time-limit is ignored: the spec's solver does not "
+                    "accept it, already pins one, or the spec customises "
+                    "the detector's built-in solver",
+                    RuntimeWarning,
+                )
+    if args.direct_threshold is not None:
+        detector_fields = (
+            api.DETECTORS.get(spec.detector).config_fields()
+            if spec.detector in api.DETECTORS
+            else ()
+        )
+        if (
+            "direct_threshold" in detector_fields
+            and "direct_threshold" not in spec.detector_config
+        ):
+            spec = spec.replace(
+                detector_config={
+                    **spec.detector_config,
+                    "direct_threshold": args.direct_threshold,
+                }
+            )
+        else:
+            warnings.warn(
+                "--direct-threshold is ignored: the spec's detector "
+                "does not accept it or already pins one",
+                RuntimeWarning,
+            )
+    return spec
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    import repro.api as api
+    from repro.graphs.io import read_edge_list
+
+    graph = read_edge_list(args.input, weighted=args.weighted)
+    print(
+        f"loaded {args.input}: {graph.n_nodes} nodes, "
+        f"{graph.n_edges} edges"
+    )
+
+    if args.spec:
+        spec = _merge_spec_overrides(api.RunSpec.from_file(args.spec), args)
+    else:
+        if args.communities is None:
+            raise SystemExit(
+                "--communities is required (or provide it via --spec)"
+            )
+        # Build the solver once (warn-or-apply seed/time_limit
+        # threading), then lower it back to a {name, config} spec dict
+        # so the --artifact spec stays declarative and reloadable.
+        solver = _build_solver(
+            args.solver,
+            args.seed,
+            60.0 if args.time_limit is None else args.time_limit,
+        )
+        spec = api.RunSpec(
+            detector="qhd",
+            detector_config={
+                "direct_threshold": (
+                    1000
+                    if args.direct_threshold is None
+                    else args.direct_threshold
+                ),
+                "solver": api.solver_to_spec(solver),
+            },
+            solver=args.solver,
+            n_communities=args.communities,
+            seed=args.seed,
+        )
+    if spec.n_communities is None:
+        raise SystemExit("spec does not define n_communities")
+
+    try:
+        artifact = api.detect(graph, spec)
+    except (api.RegistryError, api.SpecError, api.ConfigError) as error:
+        raise SystemExit(str(error)) from None
+    _print_result(graph, artifact.result, args.output, args.print_labels)
+    if args.artifact:
+        with open(args.artifact, "w", encoding="utf-8") as handle:
+            handle.write(artifact.to_json())
+        print(f"run artifact written to {args.artifact}")
     return 0
 
 
@@ -130,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Descent (DAC 2025 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--list-solvers",
+        nargs=0,
+        action=_ListSolversAction,
+        help="list registered solvers and detectors, then exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     detect = sub.add_parser(
@@ -137,29 +272,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--input", required=True, help="edge-list path")
     detect.add_argument(
-        "--communities", type=int, required=True, help="max communities k"
+        "--communities",
+        type=int,
+        default=None,
+        help="max communities k (required unless --spec provides it)",
     )
     detect.add_argument(
         "--solver",
         default="qhd",
-        help="qhd | branch-and-bound | simulated-annealing | tabu | greedy",
+        help="registered solver name (see repro --list-solvers)",
+    )
+    detect.add_argument(
+        "--spec",
+        default=None,
+        help="JSON RunSpec file driving the whole run (overrides --solver)",
     )
     detect.add_argument("--seed", type=int, default=None)
     detect.add_argument(
         "--time-limit",
         type=float,
-        default=60.0,
-        help="budget for the exact solver (seconds)",
+        default=None,
+        help=(
+            "wall-clock budget in seconds, applied to every solver "
+            "that supports one (default 60 for flag-driven runs; "
+            "merged into --spec runs when the spec's solver accepts it)"
+        ),
     )
     detect.add_argument(
         "--direct-threshold",
         type=int,
-        default=1000,
-        help="largest network solved by one direct QUBO (paper: 1000)",
+        default=None,
+        help=(
+            "largest network solved by one direct QUBO "
+            "(paper and default: 1000)"
+        ),
     )
     detect.add_argument("--weighted", action="store_true")
     detect.add_argument(
         "--output", default=None, help="write labels to this file"
+    )
+    detect.add_argument(
+        "--artifact",
+        default=None,
+        help="write the JSON run artifact (spec+result+timings) here",
     )
     detect.add_argument("--print-labels", action="store_true")
     detect.set_defaults(func=_cmd_detect)

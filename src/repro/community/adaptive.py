@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.result import CommunityResult
 from repro.graphs.graph import Graph
@@ -35,7 +36,8 @@ class PenaltyRound:
     modularity: float
 
 
-class AdaptivePenaltyDetector:
+@DETECTORS.register("adaptive")
+class AdaptivePenaltyDetector(SolverConfigurable):
     """Direct QUBO detection with automatic penalty escalation.
 
     Parameters

@@ -9,6 +9,9 @@ which is exactly how the GUROBI-substitute comparison runs are produced.
 
 from __future__ import annotations
 
+from typing import Any
+
+from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.multilevel import MultilevelConfig, MultilevelDetector
 from repro.community.result import CommunityResult
@@ -18,7 +21,8 @@ from repro.utils.rng import SeedLike
 from repro.utils.validation import check_integer
 
 
-class QhdCommunityDetector:
+@DETECTORS.register("qhd")
+class QhdCommunityDetector(SolverConfigurable):
     """End-to-end quantum-inspired community detection.
 
     Parameters
@@ -58,6 +62,23 @@ class QhdCommunityDetector:
     3
     """
 
+    #: ``solver`` and ``multilevel_config`` are normalised on
+    #: assignment; the original constructor arguments back the config
+    #: round-trip (so a default-built detector serialises to
+    #: ``solver: None`` instead of a live QhdSolver object).
+    _config_aliases = {
+        "solver": "_solver_spec",
+        "multilevel_config": "_multilevel_spec",
+    }
+    _nested_configs = {"multilevel_config": MultilevelConfig}
+
+    #: Config fields that shape the built-in default solver.  The CLI
+    #: consults this before replacing the default with an explicit
+    #: ``"qhd"`` spec (e.g. to thread ``--time-limit`` through): when
+    #: any is set, the default solver is customised and must not be
+    #: swapped out.
+    default_solver_fields = ("qhd_samples", "qhd_steps", "qhd_grid_points")
+
     def __init__(
         self,
         solver: QuboSolver | None = None,
@@ -75,6 +96,16 @@ class QhdCommunityDetector:
         self.direct_threshold = check_integer(
             direct_threshold, "direct_threshold", minimum=1
         )
+        self._solver_spec = solver
+        self._multilevel_spec = multilevel_config
+        self.lambda_assignment = lambda_assignment
+        self.lambda_balance = lambda_balance
+        self.refine_passes = refine_passes
+        self.qhd_samples = qhd_samples
+        self.qhd_steps = qhd_steps
+        self.qhd_grid_points = qhd_grid_points
+        self._seed = seed
+        self.backend = backend
         if solver is None:
             from repro.qhd.solver import QhdSolver
 

@@ -9,6 +9,8 @@ pipeline apply).
 
 from __future__ import annotations
 
+
+from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.modularity import modularity
 from repro.community.refinement import refine_labels
 from repro.community.result import CommunityResult
@@ -21,7 +23,8 @@ from repro.utils.timer import Stopwatch
 from repro.utils.validation import check_integer
 
 
-class DirectQuboDetector:
+@DETECTORS.register("direct")
+class DirectQuboDetector(SolverConfigurable):
     """Community detection by one direct QUBO solve.
 
     Parameters
@@ -57,6 +60,10 @@ class DirectQuboDetector:
     True
     """
 
+    #: The resolved solver lands on ``self.solver``; the original
+    #: argument backs the config round-trip (``None`` stays ``None``).
+    _config_aliases = {"solver": "_solver_spec"}
+
     def __init__(
         self,
         solver: QuboSolver | None = None,
@@ -68,6 +75,7 @@ class DirectQuboDetector:
         refine_seed=None,
         backend: str = "auto",
     ) -> None:
+        self._solver_spec = solver
         if solver is None:
             from repro.qhd.solver import QhdSolver
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.config import Configurable
+from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.modularity import modularity
 from repro.community.refinement import refine_labels
@@ -31,7 +33,7 @@ from repro.utils.validation import check_integer, check_positive
 
 
 @dataclass(frozen=True)
-class MultilevelConfig:
+class MultilevelConfig(Configurable):
     """Tuning knobs of Algorithm 2.
 
     Attributes
@@ -66,7 +68,8 @@ class MultilevelConfig:
             check_positive(self.degree_limit_factor, "degree_limit_factor")
 
 
-class MultilevelDetector:
+@DETECTORS.register("multilevel")
+class MultilevelDetector(SolverConfigurable):
     """Algorithm 2: coarsen, solve the base QUBO, project and refine.
 
     Parameters
@@ -97,6 +100,13 @@ class MultilevelDetector:
     True
     """
 
+    #: ``solver`` resolves through the base detector; ``config`` is
+    #: normalised to a MultilevelConfig.  The original arguments back
+    #: the config round-trip.
+    _config_aliases = {"solver": "_solver_spec", "config": "_config_spec"}
+
+    _nested_configs = {"config": MultilevelConfig}
+
     def __init__(
         self,
         solver: QuboSolver | None = None,
@@ -107,6 +117,13 @@ class MultilevelDetector:
         cut_weight: float = 0.0,
         backend: str = "auto",
     ) -> None:
+        self._solver_spec = solver
+        self._config_spec = config
+        self.lambda_assignment = lambda_assignment
+        self.lambda_balance = lambda_balance
+        self.modularity_weight = modularity_weight
+        self.cut_weight = cut_weight
+        self.backend = backend
         self.config = config or MultilevelConfig()
         self._base_detector = DirectQuboDetector(
             solver=solver,

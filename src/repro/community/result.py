@@ -8,6 +8,7 @@ from typing import Any
 import numpy as np
 
 from repro.solvers.base import SolveResult
+from repro.utils.serialization import to_jsonable
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,43 @@ class CommunityResult:
     def n_communities(self) -> int:
         """Number of non-empty communities in the result."""
         return len(np.unique(self.labels)) if len(self.labels) else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict form (labels -> list, nested solve result).
+
+        ``n_communities`` is included for consumers but derived again on
+        :meth:`from_dict`, which ignores it.
+        """
+        return {
+            "labels": np.asarray(self.labels).tolist(),
+            "modularity": float(self.modularity),
+            "method": self.method,
+            "wall_time": float(self.wall_time),
+            "n_communities": self.n_communities,
+            "solve_result": (
+                None
+                if self.solve_result is None
+                else self.solve_result.to_dict()
+            ),
+            "metadata": to_jsonable(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CommunityResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        solve_result = data.get("solve_result")
+        return cls(
+            labels=np.asarray(data["labels"], dtype=np.int64),
+            modularity=float(data["modularity"]),
+            method=data["method"],
+            wall_time=float(data["wall_time"]),
+            solve_result=(
+                None
+                if solve_result is None
+                else SolveResult.from_dict(solve_result)
+            ),
+            metadata=dict(data.get("metadata", {})),
+        )
 
     def __repr__(self) -> str:
         return (

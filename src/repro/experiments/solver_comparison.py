@@ -17,12 +17,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.runner import build_solver
 from repro.experiments.reporting import format_table, percent
-from repro.qhd.solver import QhdSolver
 from repro.qubo.analysis import qubo_density
 from repro.qubo.random_instances import PortfolioGenerator, QuboInstance
 from repro.solvers.base import SolverStatus
-from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.utils.validation import check_positive
 
 
@@ -32,10 +31,14 @@ class SolverComparisonConfig:
 
     ``portfolio_scale=1.0`` reproduces the full 938-instance portfolio;
     the default keeps the experiment to a few minutes on a laptop while
-    preserving both regimes' distributions.
+    preserving both regimes' distributions.  Both contenders are
+    resolved through the :data:`repro.api.SOLVERS` registry, so any
+    registered heuristic/exact pair can be compared by name.
     """
 
     portfolio_scale: float = 0.05
+    heuristic_solver: str = "qhd"
+    exact_solver: str = "branch-and-bound"
     qhd_samples: int = 16
     qhd_steps: int = 100
     qhd_grid_points: int = 16
@@ -215,16 +218,29 @@ def compare_on_instance(
     instance: QuboInstance, config: SolverComparisonConfig
 ) -> InstanceOutcome:
     """Run the paper's time-matched head-to-head on one instance."""
-    qhd = QhdSolver(
-        n_samples=config.qhd_samples,
-        n_steps=config.qhd_steps,
-        grid_points=config.qhd_grid_points,
+    from repro.api.registry import SOLVERS
+
+    # The qhd_* sampling knobs apply to any heuristic that accepts them
+    # (i.e. QHD); swapping in e.g. ``tabu`` just drops them.
+    fields = SOLVERS.get(config.heuristic_solver).config_fields()
+    knobs = {
+        key: value
+        for key, value in {
+            "n_samples": config.qhd_samples,
+            "n_steps": config.qhd_steps,
+            "grid_points": config.qhd_grid_points,
+        }.items()
+        if key in fields
+    }
+    heuristic = build_solver(
+        config.heuristic_solver,
+        knobs,
         seed=config.seed + instance.instance_id,
     )
-    qhd_result = qhd.solve(instance.model)
+    qhd_result = heuristic.solve(instance.model)
 
     time_limit = max(config.min_time_limit, qhd_result.wall_time)
-    exact = BranchAndBoundSolver(time_limit=time_limit)
+    exact = build_solver(config.exact_solver, time_limit=time_limit)
     exact_result = exact.solve(instance.model)
 
     return InstanceOutcome(

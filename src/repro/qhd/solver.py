@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import SOLVERS
 from repro.exceptions import SolverError
 from repro.hamiltonian.grid import PositionGrid
 from repro.hamiltonian.observables import (
@@ -46,10 +47,15 @@ from repro.qhd.result import QhdDetails, QhdTrace
 from repro.qubo.model import BaseQubo
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import Stopwatch
-from repro.utils.validation import check_integer, check_positive
+from repro.utils.timer import Stopwatch, TimeBudget
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_time_limit,
+)
 
 
+@SOLVERS.register("qhd")
 class QhdSolver(QuboSolver):
     """Quantum Hamiltonian Descent solver for QUBO models.
 
@@ -74,6 +80,10 @@ class QhdSolver(QuboSolver):
         1-opt refinement sweeps on the measured candidates (0 disables the
         classical polish).  ``None`` auto-scales to ``2 n + 100`` so that
         refinement can reach a local minimum even on large instances.
+    time_limit:
+        Optional wall-clock budget in seconds.  Evolution stops at the
+        deadline with the wavefunctions evolved so far (measurement and
+        refinement still run) and the result reports ``TIME_LIMIT``.
     normalize_every:
         Renormalise the wavefunctions every this many steps to control
         floating-point drift (Strang steps are unitary up to rounding).
@@ -95,6 +105,10 @@ class QhdSolver(QuboSolver):
 
     name = "qhd"
 
+    #: ``schedule`` is normalised to a Schedule object on assignment;
+    #: the original constructor argument is kept for config round-trips.
+    _config_aliases = {"schedule": "_schedule_spec"}
+
     def __init__(
         self,
         n_samples: int = 32,
@@ -107,6 +121,7 @@ class QhdSolver(QuboSolver):
         normalize_every: int = 10,
         boundary: str = "dirichlet",
         record_trace: bool = False,
+        time_limit: float | None = float("inf"),
         seed: SeedLike = None,
     ) -> None:
         self.n_samples = check_integer(n_samples, "n_samples", minimum=1)
@@ -115,6 +130,7 @@ class QhdSolver(QuboSolver):
         )
         self.n_steps = check_integer(n_steps, "n_steps", minimum=1)
         self.t_final = check_positive(t_final, "t_final")
+        self._schedule_spec = schedule
         if isinstance(schedule, Schedule):
             self.schedule: Schedule = schedule
             self.t_final = schedule.t_final
@@ -136,6 +152,7 @@ class QhdSolver(QuboSolver):
             )
         self.boundary = boundary
         self.record_trace = bool(record_trace)
+        self.time_limit = check_time_limit(time_limit)
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -150,10 +167,15 @@ class QhdSolver(QuboSolver):
         community QUBOs run without densification.
         """
         details, wall_time, steps = self._run(model)
+        status = (
+            SolverStatus.TIME_LIMIT
+            if steps < self.n_steps
+            else SolverStatus.HEURISTIC
+        )
         return SolveResult(
             x=details.best_sample,
             energy=details.best_energy,
-            status=SolverStatus.HEURISTIC,
+            status=status,
             wall_time=wall_time,
             solver_name=self.name,
             iterations=steps,
@@ -196,6 +218,7 @@ class QhdSolver(QuboSolver):
 
         psi = self._initial_wavepackets(rng, n, points, spacing)
         dt = self.t_final / self.n_steps
+        budget = TimeBudget(self.time_limit)
 
         trace_times: list[float] = []
         trace_kin: list[float] = []
@@ -203,7 +226,10 @@ class QhdSolver(QuboSolver):
         trace_best: list[float] = []
         trace_mean: list[float] = []
 
+        steps_done = 0
         for step in range(self.n_steps):
+            if budget.exhausted():
+                break
             t_mid = (step + 0.5) * dt
             kin = self.schedule.kinetic(t_mid)
             pot = self.schedule.potential(t_mid)
@@ -233,6 +259,7 @@ class QhdSolver(QuboSolver):
                 trace_pot.append(pot)
                 trace_best.append(float(relaxed.min()))
                 trace_mean.append(float(relaxed.mean()))
+            steps_done = step + 1
 
         psi = normalize(psi, spacing)
         mu = position_expectations(psi, points, spacing)
@@ -273,7 +300,7 @@ class QhdSolver(QuboSolver):
             refinement_sweeps=refine_sweeps,
             metadata={"energy_scale": energy_scale},
         )
-        return details, watch.elapsed, self.n_steps
+        return details, watch.elapsed, steps_done
 
     # ------------------------------------------------------------------
     # Helpers

@@ -22,8 +22,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.api.config import Configurable
 from repro.exceptions import SolverError
 from repro.qubo.model import BaseQubo
+from repro.utils.serialization import to_jsonable
 
 
 class SolverStatus(enum.Enum):
@@ -84,8 +86,33 @@ class SolveResult:
         """Whether the solver proved this assignment optimal."""
         return self.status is SolverStatus.OPTIMAL
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict form (arrays -> lists, status -> str)."""
+        return {
+            "x": self.x.tolist(),
+            "energy": float(self.energy),
+            "status": self.status.value,
+            "wall_time": float(self.wall_time),
+            "solver_name": self.solver_name,
+            "iterations": int(self.iterations),
+            "metadata": to_jsonable(self.metadata),
+        }
 
-class QuboSolver(ABC):
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SolveResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            x=np.asarray(data["x"], dtype=np.int8),
+            energy=float(data["energy"]),
+            status=SolverStatus(data["status"]),
+            wall_time=float(data["wall_time"]),
+            solver_name=data["solver_name"],
+            iterations=int(data.get("iterations", 0)),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+class QuboSolver(Configurable, ABC):
     """Abstract base class of every QUBO solver in the library."""
 
     #: Identifier used in reports and experiment tables.

@@ -22,13 +22,19 @@ import sys
 
 import numpy as np
 
+from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.solvers.greedy import greedy_construct, local_search
 from repro.utils.timer import Stopwatch, TimeBudget
-from repro.utils.validation import check_integer, check_positive
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_time_limit,
+)
 
 
+@SOLVERS.register("branch-and-bound")
 class BranchAndBoundSolver(QuboSolver):
     """Exact QUBO solver with a time limit and incumbent reporting.
 
@@ -62,11 +68,11 @@ class BranchAndBoundSolver(QuboSolver):
 
     def __init__(
         self,
-        time_limit: float = float("inf"),
+        time_limit: float | None = float("inf"),
         max_nodes: int | None = None,
         tolerance: float = 1e-9,
     ) -> None:
-        self.time_limit = check_positive(time_limit, "time_limit", allow_infinity=True)
+        self.time_limit = check_time_limit(time_limit)
         self.max_nodes = (
             None
             if max_nodes is None

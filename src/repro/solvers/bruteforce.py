@@ -7,12 +7,14 @@ really are optimal.
 
 from __future__ import annotations
 
+from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.timer import Stopwatch
 from repro.utils.validation import check_integer
 
 
+@SOLVERS.register("brute-force")
 class BruteForceSolver(QuboSolver):
     """Enumerate all ``2^n`` assignments (``n`` capped for safety).
 

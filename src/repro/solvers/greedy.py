@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import Stopwatch
-from repro.utils.validation import check_integer
+from repro.utils.timer import Stopwatch, TimeBudget
+from repro.utils.validation import check_integer, check_time_limit
 
 
 def greedy_construct(model: QuboModel) -> np.ndarray:
@@ -103,8 +104,20 @@ def local_search_batch(
     return batch.astype(np.int8), model.evaluate_batch(batch)
 
 
+@SOLVERS.register("greedy")
 class GreedySolver(QuboSolver):
-    """Greedy construction + 1-opt local search with random restarts."""
+    """Greedy construction + 1-opt local search with random restarts.
+
+    Parameters
+    ----------
+    n_restarts:
+        Independent restarts (the first uses the greedy construction).
+    max_sweeps:
+        1-opt sweeps per restart.
+    time_limit:
+        Optional wall-clock budget; remaining restarts are skipped once
+        it is exhausted and the result reports ``TIME_LIMIT``.
+    """
 
     name = "greedy"
 
@@ -112,35 +125,47 @@ class GreedySolver(QuboSolver):
         self,
         n_restarts: int = 8,
         max_sweeps: int = 100,
+        time_limit: float | None = float("inf"),
         seed: SeedLike = None,
     ) -> None:
         self.n_restarts = check_integer(n_restarts, "n_restarts", minimum=1)
         self.max_sweeps = check_integer(max_sweeps, "max_sweeps", minimum=1)
+        self.time_limit = check_time_limit(time_limit)
         self._seed = seed
 
     def solve(self, model: QuboModel) -> SolveResult:
         model = self._validate_model(model)
         rng = ensure_rng(self._seed)
         watch = Stopwatch().start()
+        budget = TimeBudget(self.time_limit)
         n = model.n_variables
 
         best_x = greedy_construct(model)
         best_x, best_energy, total_sweeps = local_search(
             model, best_x, self.max_sweeps
         )
+        restarts_run = 1
         for _ in range(self.n_restarts - 1):
+            if budget.exhausted():
+                break
             start = (rng.random(n) < 0.5).astype(np.float64)
             x, energy, sweeps = local_search(model, start, self.max_sweeps)
             total_sweeps += sweeps
+            restarts_run += 1
             if energy < best_energy:
                 best_x, best_energy = x, energy
         watch.stop()
+        status = (
+            SolverStatus.TIME_LIMIT
+            if restarts_run < self.n_restarts
+            else SolverStatus.HEURISTIC
+        )
         return SolveResult(
             x=best_x,
             energy=best_energy,
-            status=SolverStatus.HEURISTIC,
+            status=status,
             wall_time=watch.elapsed,
             solver_name=self.name,
             iterations=total_sweeps,
-            metadata={"restarts": self.n_restarts},
+            metadata={"restarts": restarts_run},
         )

@@ -9,7 +9,9 @@ drop-in :class:`repro.solvers.QuboSolver`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.api.registry import SOLVERS, resolve_solver, solver_to_spec
 from repro.exceptions import SolverError
 from repro.qubo.model import QuboModel
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
@@ -32,13 +34,16 @@ class PortfolioOutcome:
         return [(r.solver_name, r.energy) for r in self.results]
 
 
+@SOLVERS.register("portfolio")
 class PortfolioSolver(QuboSolver):
     """Run member solvers sequentially and return the best solution.
 
     Parameters
     ----------
     solvers:
-        Member solvers, each a configured :class:`QuboSolver`.
+        Member solvers — configured :class:`QuboSolver` instances, or
+        (via ``from_config``) registered names / ``{"name": ...,
+        "config": {...}}`` spec dicts.
 
     Examples
     --------
@@ -53,6 +58,21 @@ class PortfolioSolver(QuboSolver):
     """
 
     name = "portfolio"
+
+    @classmethod
+    def _coerce_config(cls, config: dict[str, Any]) -> dict[str, Any]:
+        members = config.get("solvers")
+        if members is not None:
+            config["solvers"] = [resolve_solver(m) for m in members]
+        return config
+
+    def to_config(self) -> dict[str, Any]:
+        # Registered members lower to {name, config} spec dicts;
+        # unregistered custom solvers pass through as live instances
+        # (which from_config accepts unchanged), keeping the round-trip.
+        return {
+            "solvers": [solver_to_spec(member) for member in self.solvers]
+        }
 
     def __init__(self, solvers: list[QuboSolver]) -> None:
         if not solvers:

@@ -9,13 +9,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import Stopwatch, TimeBudget
-from repro.utils.validation import check_integer, check_positive
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_time_limit,
+)
 
 
+@SOLVERS.register("simulated-annealing")
 class SimulatedAnnealingSolver(QuboSolver):
     """Metropolis single-flip annealing with a geometric schedule.
 
@@ -43,7 +49,7 @@ class SimulatedAnnealingSolver(QuboSolver):
         n_restarts: int = 4,
         t_initial: float | None = None,
         t_final: float = 1e-3,
-        time_limit: float = float("inf"),
+        time_limit: float | None = float("inf"),
         seed: SeedLike = None,
     ) -> None:
         self.n_sweeps = check_integer(n_sweeps, "n_sweeps", minimum=1)
@@ -52,7 +58,7 @@ class SimulatedAnnealingSolver(QuboSolver):
             check_positive(t_initial, "t_initial")
         self.t_initial = t_initial
         self.t_final = check_positive(t_final, "t_final")
-        self.time_limit = check_positive(time_limit, "time_limit", allow_infinity=True)
+        self.time_limit = check_time_limit(time_limit)
         self._seed = seed
 
     def _auto_t_initial(

@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import Stopwatch, TimeBudget
-from repro.utils.validation import check_integer, check_positive
+from repro.utils.validation import check_integer, check_time_limit
 
 
+@SOLVERS.register("tabu")
 class TabuSolver(QuboSolver):
     """Single-flip tabu search with aspiration.
 
@@ -37,7 +39,7 @@ class TabuSolver(QuboSolver):
         self,
         n_iterations: int = 2000,
         tenure: int | None = None,
-        time_limit: float = float("inf"),
+        time_limit: float | None = float("inf"),
         seed: SeedLike = None,
     ) -> None:
         self.n_iterations = check_integer(
@@ -46,7 +48,7 @@ class TabuSolver(QuboSolver):
         self.tenure = (
             None if tenure is None else check_integer(tenure, "tenure", minimum=1)
         )
-        self.time_limit = check_positive(time_limit, "time_limit", allow_infinity=True)
+        self.time_limit = check_time_limit(time_limit)
         self._seed = seed
 
     def solve(self, model: QuboModel) -> SolveResult:

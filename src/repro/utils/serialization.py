@@ -1,0 +1,71 @@
+"""JSON-ready conversion of library values.
+
+Result objects, configs and run artifacts carry numpy arrays, numpy
+scalars, enums and (frozen) dataclasses.  :func:`to_jsonable` lowers all
+of them to plain ``dict`` / ``list`` / ``str`` / numbers so that
+``json.dumps`` succeeds without custom encoders and the output can be
+read back by any JSON consumer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable built-ins.
+
+    Conversions: numpy arrays -> (nested) lists, numpy scalars ->
+    Python scalars, enums -> their ``value``, dataclasses -> dicts,
+    mappings/sequences -> dict/list with converted elements, non-finite
+    floats (``inf`` time limits, ``nan``) -> ``None`` since strict JSON
+    has no spelling for them (solver constructors read ``time_limit:
+    None`` back as "no limit").  Strings, finite numbers, booleans and
+    ``None`` pass through unchanged.  Objects exposing ``to_dict()``
+    (result containers) are lowered through it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> to_jsonable({"x": np.array([1, 2]), "e": np.float64(0.5)})
+    {'x': [1, 2], 'e': 0.5}
+    >>> to_jsonable(float("inf")) is None
+    True
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if isinstance(value, np.ndarray):
+        return _finite_listed(value)
+    if isinstance(value, np.generic):
+        return to_jsonable(value.item())
+    if hasattr(value, "to_dict") and callable(value.to_dict):
+        return to_jsonable(value.to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    return repr(value)
+
+
+def _finite_listed(array: np.ndarray) -> Any:
+    """``array.tolist()`` with non-finite floats lowered to ``None``."""
+    listed = array.tolist()
+    if np.issubdtype(array.dtype, np.floating) and not bool(
+        np.isfinite(array).all()
+    ):
+        return to_jsonable(listed)
+    return listed

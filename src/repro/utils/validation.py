@@ -52,6 +52,19 @@ def check_positive(
     return value
 
 
+def check_time_limit(value: Any, name: str = "time_limit") -> float:
+    """Validate a solver wall-clock budget.
+
+    ``None`` means "no limit" and maps to ``+inf`` — the JSON-side
+    spelling, since ``Infinity`` is not valid JSON and
+    :func:`repro.utils.serialization.to_jsonable` lowers non-finite
+    floats to ``null``.
+    """
+    if value is None:
+        return float("inf")
+    return check_positive(value, name, allow_infinity=True)
+
+
 def check_probability(value: Any, name: str) -> float:
     """Validate that ``value`` lies in the closed interval [0, 1]."""
     if isinstance(value, bool) or not isinstance(value, numbers.Real):

@@ -1,0 +1,137 @@
+"""Acceptance: detect_batch reproduces direct seeded detector calls."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.community.detector import QhdCommunityDetector
+from repro.graphs.lfr import lfr_graph
+from repro.solvers import SimulatedAnnealingSolver
+
+SEED = 5
+N_GRAPHS = 8
+
+SPEC_DICT = {
+    "detector": "qhd",
+    "detector_config": {"direct_threshold": 1000},
+    "solver": "simulated-annealing",
+    "solver_config": {"n_sweeps": 30, "n_restarts": 2},
+    "n_communities": 3,
+    "seed": SEED,
+}
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        lfr_graph(60, mixing=0.1, min_community=12, seed=100 + i)[0]
+        for i in range(N_GRAPHS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def batch_artifacts(graphs, tmp_path_factory):
+    # Run the batch from the JSON file form of the spec, as a user would.
+    path = tmp_path_factory.mktemp("specs") / "spec.json"
+    path.write_text(json.dumps(SPEC_DICT), encoding="utf-8")
+    spec = api.RunSpec.from_file(path)
+    return api.detect_batch(graphs, spec, max_workers=4)
+
+
+class TestBatchReproducesDirectCalls:
+    def test_batch_size_and_order(self, batch_artifacts):
+        assert len(batch_artifacts) == N_GRAPHS
+        assert [a.index for a in batch_artifacts] == list(range(N_GRAPHS))
+
+    def test_same_partitions_as_direct_detector(
+        self, graphs, batch_artifacts
+    ):
+        for graph, artifact in zip(graphs, batch_artifacts):
+            detector = QhdCommunityDetector(
+                solver=SimulatedAnnealingSolver(
+                    n_sweeps=30, n_restarts=2, seed=SEED
+                ),
+                direct_threshold=1000,
+                seed=SEED,
+            )
+            direct = detector.detect(graph, n_communities=3)
+            assert np.array_equal(
+                artifact.result.labels, direct.labels
+            ), f"graph {artifact.index} diverged from the direct call"
+            assert artifact.result.modularity == pytest.approx(
+                direct.modularity
+            )
+
+    def test_parallel_matches_serial(self, graphs, batch_artifacts):
+        serial = api.detect_batch(graphs, SPEC_DICT, max_workers=1)
+        for par, ser in zip(batch_artifacts, serial):
+            assert np.array_equal(par.result.labels, ser.result.labels)
+
+    def test_artifacts_serialise(self, batch_artifacts):
+        for artifact in batch_artifacts:
+            data = json.loads(artifact.to_json())
+            assert data["seed"] == SEED
+            assert data["spec"]["solver"] == "simulated-annealing"
+
+
+class TestRunnerErrors:
+    def test_detect_requires_n_communities(self, graphs):
+        with pytest.raises(api.SpecError, match="n_communities"):
+            api.detect(graphs[0], {"solver": "greedy", "seed": 0})
+
+    def test_solve_requires_solver(self):
+        from repro.qubo import random_qubo
+
+        with pytest.raises(api.SpecError, match="solver"):
+            api.solve(random_qubo(6, 0.5, seed=0), {})
+
+    def test_solve_runs(self):
+        from repro.qubo import random_qubo
+
+        model = random_qubo(10, 0.4, seed=1)
+        artifact = api.solve(
+            model, {"solver": "tabu", "solver_config": {"n_iterations": 50}}
+        )
+        assert artifact.result.solver_name == "tabu"
+        assert artifact.result.x.shape == (10,)
+
+    def test_bad_spec_type(self, graphs):
+        with pytest.raises(api.SpecError, match="RunSpec"):
+            api.detect(graphs[0], 42)
+
+
+class TestBuildSolverThreading:
+    def test_time_limit_applied_when_supported(self):
+        solver = api.build_solver("simulated-annealing", time_limit=5.0)
+        assert solver.time_limit == 5.0
+        assert api.build_solver("greedy", time_limit=2.0).time_limit == 2.0
+        assert api.build_solver("qhd", time_limit=3.0).time_limit == 3.0
+
+    def test_unsupported_knob_warns_not_silently_dropped(self):
+        with pytest.warns(RuntimeWarning, match="does not accept"):
+            api.build_solver("brute-force", time_limit=5.0)
+
+    def test_explicit_config_wins_over_override(self):
+        solver = api.build_solver(
+            "tabu", {"time_limit": 1.0}, time_limit=9.0
+        )
+        assert solver.time_limit == 1.0
+
+    def test_no_false_seed_warning_when_solver_consumes_it(self, graphs):
+        # 'direct' has no seed knob of its own, but the spec seed lands
+        # in the solver config — that must not warn "seed ignored".
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            api.detect(
+                graphs[0],
+                {
+                    "detector": "direct",
+                    "solver": "greedy",
+                    "seed": 0,
+                    "n_communities": 3,
+                },
+            )

@@ -1,0 +1,154 @@
+"""Registry behaviour and error paths."""
+
+import pytest
+
+from repro.api import DETECTORS, SOLVERS, Registry, RegistryError, resolve_solver
+from repro.api.config import ConfigError
+from repro.solvers import (
+    BranchAndBoundSolver,
+    QuboSolver,
+    SimulatedAnnealingSolver,
+)
+
+
+class TestAvailable:
+    def test_all_solvers_registered(self):
+        names = SOLVERS.available()
+        for expected in (
+            "qhd",
+            "branch-and-bound",
+            "simulated-annealing",
+            "tabu",
+            "greedy",
+            "brute-force",
+            "portfolio",
+        ):
+            assert expected in names
+
+    def test_all_detectors_registered(self):
+        names = DETECTORS.available()
+        for expected in ("qhd", "direct", "multilevel", "adaptive"):
+            assert expected in names
+
+    def test_available_is_sorted(self):
+        assert list(SOLVERS.available()) == sorted(SOLVERS.available())
+
+    def test_container_protocol(self):
+        assert "qhd" in SOLVERS
+        assert "gurobi" not in SOLVERS
+        assert len(SOLVERS) == len(SOLVERS.available())
+        assert list(iter(SOLVERS)) == list(SOLVERS.available())
+
+
+class TestCreate:
+    def test_create_returns_configured_instance(self):
+        solver = SOLVERS.create("simulated-annealing", n_sweeps=17, seed=3)
+        assert isinstance(solver, SimulatedAnnealingSolver)
+        assert solver.n_sweeps == 17
+
+    def test_create_default(self):
+        assert isinstance(
+            SOLVERS.create("branch-and-bound"), BranchAndBoundSolver
+        )
+
+    def test_unknown_name_lists_known_names(self):
+        with pytest.raises(RegistryError, match="unknown solver 'gurobi'"):
+            SOLVERS.get("gurobi")
+        with pytest.raises(RegistryError) as excinfo:
+            SOLVERS.create("gurobi")
+        message = str(excinfo.value)
+        # Every known name is listed, in sorted order.
+        for name in SOLVERS.available():
+            assert name in message
+        listed = message.split("available: ")[1].split(", ")
+        assert listed == sorted(listed)
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            SOLVERS.create("tabu", n_iterations=10, bogus_knob=1)
+
+
+class TestRegistration:
+    def test_duplicate_registration_raises(self):
+        registry = Registry("widget")
+
+        @registry.register("thing")
+        class A(QuboSolver):
+            def solve(self, model):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(RegistryError, match="duplicate widget"):
+
+            @registry.register("thing")
+            class B(QuboSolver):
+                def solve(self, model):  # pragma: no cover
+                    raise NotImplementedError
+
+    def test_reregistering_same_class_is_idempotent(self):
+        registry = Registry("widget")
+
+        @registry.register("thing")
+        class A(QuboSolver):
+            def solve(self, model):  # pragma: no cover
+                raise NotImplementedError
+
+        assert registry.register("thing")(A) is A
+
+    def test_empty_registry_error_message(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError, match="<none>"):
+            registry.get("anything")
+
+    def test_concurrent_first_lookup_waits_for_population(self):
+        # detect_batch worker threads may race the lazy first import;
+        # late threads must block on the population, not observe the
+        # cleared callback and misreport an empty registry.
+        import threading
+        import time
+
+        registry = Registry("widget", populate=lambda: (
+            time.sleep(0.05),
+            registry._entries.__setitem__("thing", int),
+        ))
+        errors = []
+
+        def lookup():
+            try:
+                registry.get("thing")
+            except RegistryError as error:  # pragma: no cover - regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=lookup) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestResolveSolver:
+    def test_none_passes_through(self):
+        assert resolve_solver(None) is None
+
+    def test_instance_passes_through(self):
+        solver = SimulatedAnnealingSolver(seed=0)
+        assert resolve_solver(solver) is solver
+
+    def test_name_string(self):
+        assert isinstance(
+            resolve_solver("simulated-annealing"), SimulatedAnnealingSolver
+        )
+
+    def test_spec_dict(self):
+        solver = resolve_solver(
+            {"name": "simulated-annealing", "config": {"n_sweeps": 9}}
+        )
+        assert solver.n_sweeps == 9
+
+    def test_spec_dict_requires_name(self):
+        with pytest.raises(RegistryError, match="'name'"):
+            resolve_solver({"config": {}})
+
+    def test_spec_dict_rejects_unknown_keys(self):
+        with pytest.raises(RegistryError, match="unknown keys"):
+            resolve_solver({"name": "tabu", "settings": {}})

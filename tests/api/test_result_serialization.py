@@ -1,0 +1,84 @@
+"""Regression tests: SolveResult / CommunityResult JSON round-trips."""
+
+import json
+
+import numpy as np
+
+from repro.community.result import CommunityResult
+from repro.solvers.base import SolveResult, SolverStatus
+
+
+def _solve_result() -> SolveResult:
+    return SolveResult(
+        x=np.array([1, 0, 1, 1], dtype=np.int8),
+        energy=-2.5,
+        status=SolverStatus.TIME_LIMIT,
+        wall_time=0.125,
+        solver_name="tabu",
+        iterations=321,
+        metadata={
+            "bound": np.float64(-3.0),
+            "samples": np.array([1, 2, 3]),
+        },
+    )
+
+
+class TestSolveResult:
+    def test_to_dict_is_plain_json(self):
+        data = _solve_result().to_dict()
+        text = json.dumps(data)  # must not raise
+        assert json.loads(text) == data
+        assert data["x"] == [1, 0, 1, 1]
+        assert data["status"] == "time_limit"
+        assert data["metadata"]["bound"] == -3.0
+        assert data["metadata"]["samples"] == [1, 2, 3]
+
+    def test_roundtrip(self):
+        original = _solve_result()
+        rebuilt = SolveResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert np.array_equal(rebuilt.x, original.x)
+        assert rebuilt.energy == original.energy
+        assert rebuilt.status is SolverStatus.TIME_LIMIT
+        assert rebuilt.wall_time == original.wall_time
+        assert rebuilt.solver_name == original.solver_name
+        assert rebuilt.iterations == original.iterations
+
+
+class TestCommunityResult:
+    def _result(self, with_solve: bool) -> CommunityResult:
+        return CommunityResult(
+            labels=np.array([0, 0, 1, 1, 2]),
+            modularity=0.42,
+            method="direct-qubo[tabu]",
+            wall_time=1.5,
+            solve_result=_solve_result() if with_solve else None,
+            metadata={"refine_passes": np.int64(5)},
+        )
+
+    def test_to_dict_is_plain_json(self):
+        data = self._result(with_solve=True).to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["labels"] == [0, 0, 1, 1, 2]
+        assert data["n_communities"] == 3
+        assert data["solve_result"]["status"] == "time_limit"
+        assert data["metadata"]["refine_passes"] == 5
+
+    def test_roundtrip_with_solve_result(self):
+        original = self._result(with_solve=True)
+        rebuilt = CommunityResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert np.array_equal(rebuilt.labels, original.labels)
+        assert rebuilt.modularity == original.modularity
+        assert rebuilt.method == original.method
+        assert rebuilt.n_communities == 3
+        assert rebuilt.solve_result.energy == -2.5
+        assert rebuilt.solve_result.status is SolverStatus.TIME_LIMIT
+
+    def test_roundtrip_without_solve_result(self):
+        original = self._result(with_solve=False)
+        rebuilt = CommunityResult.from_dict(original.to_dict())
+        assert rebuilt.solve_result is None
+        assert np.array_equal(rebuilt.labels, original.labels)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -126,6 +128,220 @@ class TestDetectCommand:
         )
         assert code == 0
         assert "direct-qubo[qhd]" in capsys.readouterr().out
+
+
+class TestListSolvers:
+    def test_lists_registries_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--list-solvers"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "simulated-annealing" in out
+        assert "branch-and-bound" in out
+        assert "multilevel" in out
+
+
+class TestSpecDriven:
+    def _write_spec(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        return path
+
+    def test_detect_from_spec(self, graph_file, tmp_path, capsys):
+        spec_file = self._write_spec(
+            tmp_path,
+            {
+                "detector": "qhd",
+                "solver": "simulated-annealing",
+                "solver_config": {"n_sweeps": 30, "n_restarts": 2},
+                "n_communities": 3,
+                "seed": 0,
+            },
+        )
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--spec",
+                str(spec_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "direct-qubo[simulated-annealing]" in out
+
+    def test_spec_writes_artifact(self, graph_file, tmp_path, capsys):
+        spec_file = self._write_spec(
+            tmp_path,
+            {"solver": "greedy", "n_communities": 3, "seed": 1},
+        )
+        artifact_file = tmp_path / "artifact.json"
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--spec",
+                str(spec_file),
+                "--artifact",
+                str(artifact_file),
+            ]
+        )
+        assert code == 0
+        data = json.loads(artifact_file.read_text(encoding="utf-8"))
+        assert data["spec"]["solver"] == "greedy"
+        assert data["result"]["n_communities"] == 3
+        assert len(data["result"]["labels"]) == 15
+
+    def test_cli_communities_overrides_spec(
+        self, graph_file, tmp_path, capsys
+    ):
+        spec_file = self._write_spec(
+            tmp_path,
+            {"solver": "greedy", "n_communities": 2, "seed": 0},
+        )
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--spec",
+                str(spec_file),
+                "--communities",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "communities: 3" in capsys.readouterr().out
+
+    def test_spec_without_communities_exits(
+        self, graph_file, tmp_path
+    ):
+        spec_file = self._write_spec(tmp_path, {"solver": "greedy"})
+        with pytest.raises(SystemExit, match="n_communities"):
+            main(
+                [
+                    "detect",
+                    "--input",
+                    str(graph_file),
+                    "--spec",
+                    str(spec_file),
+                ]
+            )
+
+    def test_missing_communities_without_spec_exits(self, graph_file):
+        with pytest.raises(SystemExit, match="--communities"):
+            main(["detect", "--input", str(graph_file)])
+
+    def test_time_limit_merges_into_spec_solver(
+        self, graph_file, tmp_path
+    ):
+        spec_file = self._write_spec(
+            tmp_path,
+            {"solver": "tabu", "n_communities": 3, "seed": 0},
+        )
+        artifact_file = tmp_path / "artifact.json"
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--spec",
+                str(spec_file),
+                "--time-limit",
+                "5",
+                "--artifact",
+                str(artifact_file),
+            ]
+        )
+        assert code == 0
+        data = json.loads(artifact_file.read_text(encoding="utf-8"))
+        assert data["spec"]["solver_config"]["time_limit"] == 5.0
+
+    def test_time_limit_applies_to_default_detector_solver(
+        self, graph_file, tmp_path
+    ):
+        # A spec without a top-level solver uses the detector's default
+        # QHD solver, which accepts a budget — the flag must reach it
+        # (as an explicit, reloadable solver spec), not be dropped.
+        spec_file = self._write_spec(
+            tmp_path, {"n_communities": 3, "seed": 0}
+        )
+        artifact_file = tmp_path / "artifact.json"
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--spec",
+                str(spec_file),
+                "--time-limit",
+                "5",
+                "--artifact",
+                str(artifact_file),
+            ]
+        )
+        assert code == 0
+        data = json.loads(artifact_file.read_text(encoding="utf-8"))
+        assert data["spec"]["solver"] == "qhd"
+        assert data["spec"]["solver_config"]["time_limit"] == 5.0
+
+    def test_time_limit_pinned_by_spec_warns(self, graph_file, tmp_path):
+        spec_file = self._write_spec(
+            tmp_path,
+            {
+                "solver": "tabu",
+                "solver_config": {"time_limit": 1.0},
+                "n_communities": 3,
+                "seed": 0,
+            },
+        )
+        with pytest.warns(RuntimeWarning, match="--time-limit is ignored"):
+            code = main(
+                [
+                    "detect",
+                    "--input",
+                    str(graph_file),
+                    "--spec",
+                    str(spec_file),
+                    "--time-limit",
+                    "5",
+                ]
+            )
+        assert code == 0
+
+    def test_flag_artifact_spec_is_reloadable(
+        self, graph_file, tmp_path, capsys
+    ):
+        import repro.api as api
+
+        artifact_file = tmp_path / "artifact.json"
+        code = main(
+            [
+                "detect",
+                "--input",
+                str(graph_file),
+                "--communities",
+                "3",
+                "--solver",
+                "greedy",
+                "--seed",
+                "0",
+                "--artifact",
+                str(artifact_file),
+            ]
+        )
+        assert code == 0
+        data = json.loads(artifact_file.read_text(encoding="utf-8"))
+        # The persisted spec must be declarative (no repr'd live
+        # objects) and reproduce the run when fed back through the api.
+        spec = api.RunSpec.from_dict(data["spec"])
+        assert spec.detector_config["solver"]["name"] == "greedy"
+        from repro.graphs.io import read_edge_list
+
+        rerun = api.detect(read_edge_list(graph_file), spec)
+        assert rerun.result.labels.tolist() == data["result"]["labels"]
 
 
 class TestBenchCommand:
