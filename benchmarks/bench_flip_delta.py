@@ -1,0 +1,222 @@
+"""FLIP-DELTA — incremental vs recompute per-sweep local-search cost.
+
+Not a paper artefact: this bench guards the incremental flip-delta
+engine (:class:`repro.qubo.delta.FlipDeltaState`) that PR 3 put under
+the SA/tabu/greedy sweep loops.  On sparse LFR-derived community QUBOs
+it times the two ways of answering "what does flipping bit ``i``
+cost?" over identical flip sequences:
+
+* ``sweep`` mode (the tabu/greedy shape) — ``recompute`` calls one full
+  ``model.flip_deltas(x)`` mat-vec per iteration, O(nnz) each;
+  ``incremental`` reads the maintained O(n) array and applies an
+  O(row nnz) update per flip;
+* ``single`` mode (the SA shape) — ``recompute`` calls
+  ``model.flip_delta(x, i)`` per attempt (which pays the factor
+  projection every time); ``incremental`` is the O(1) ``state.delta(i)``
+  read plus the O(row nnz) ``state.flip(i)``.
+
+Besides the usual text report it writes
+``benchmarks/results/flip_delta.json`` (next to ``construction.json``)
+with the shape::
+
+    {"benchmark": "flip_delta", "instances": [
+        {"n_nodes": ..., "n_variables": ..., "nnz": ...,
+         "n_iterations": ...,
+         "sweep_recompute_ms": ..., "sweep_incremental_ms": ...,
+         "sweep_speedup": ...,
+         "single_recompute_ms": ..., "single_incremental_ms": ...,
+         "single_speedup": ...}, ...],
+     "min_single_speedup": ...}
+
+Run standalone with ``python benchmarks/bench_flip_delta.py [--quick]``
+(``--quick`` forces small instances for CI) or through pytest like the
+other ``bench_*`` modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).parent / "results"
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import bench_scale, save_report  # noqa: E402
+
+
+def _sparse_instance(n_nodes: int, n_communities: int, seed: int):
+    from repro.graphs.lfr import lfr_graph
+    from repro.qubo import build_community_qubo
+
+    graph, _ = lfr_graph(n_nodes, mixing=0.1, seed=seed)
+    built = build_community_qubo(graph, n_communities, backend="sparse")
+    return built.model
+
+
+def _time_sweep_recompute(model, flips, x0) -> float:
+    """Old tabu/greedy shape: fresh flip_deltas mat-vec per iteration."""
+    x = x0.copy()
+    start = time.perf_counter()
+    for var in flips:
+        deltas = model.flip_deltas(x)
+        x[var] = 1.0 - x[var]
+        _ = float(deltas[var])
+    return time.perf_counter() - start
+
+
+def _time_sweep_incremental(model, flips, x0) -> float:
+    """Delta-state tabu/greedy shape: maintained array + row updates."""
+    from repro.solvers.base import flip_state
+
+    start = time.perf_counter()
+    state = flip_state(model, x0.copy())
+    for var in flips:
+        deltas = state.deltas()
+        state.flip(int(var))
+        _ = float(deltas[var])
+    return time.perf_counter() - start
+
+
+def _time_single_recompute(model, flips, x0) -> float:
+    """Old SA shape: fresh model.flip_delta per attempted flip."""
+    x = x0.copy()
+    start = time.perf_counter()
+    for var in flips:
+        _ = model.flip_delta(x, int(var))
+        x[var] = 1.0 - x[var]
+    return time.perf_counter() - start
+
+
+def _time_single_incremental(model, flips, x0) -> float:
+    """Delta-state SA shape: O(1) delta reads + O(row nnz) flips."""
+    from repro.solvers.base import flip_state
+
+    start = time.perf_counter()
+    state = flip_state(model, x0.copy())
+    for var in flips:
+        _ = state.delta(int(var))
+        state.flip(int(var))
+    return time.perf_counter() - start
+
+
+def run_flip_delta(scale: float, n_communities: int = 4) -> dict:
+    """Time both sweep-loop styles on sparse LFR QUBOs; JSON report."""
+    sizes = [
+        max(300, int(round(600 * scale))),
+        max(800, int(round(1600 * scale))),
+    ]
+    n_iterations = max(150, int(round(400 * scale)))
+    rng = np.random.default_rng(0)
+
+    instances = []
+    for idx, n_nodes in enumerate(sizes):
+        model = _sparse_instance(n_nodes, n_communities, seed=40 + idx)
+        n = model.n_variables
+        x0 = (rng.random(n) < 0.5).astype(np.float64)
+        flips = rng.integers(0, n, size=n_iterations)
+
+        # Warm once (lazy CSC build, caches), then measure.
+        _time_sweep_incremental(model, flips[:2], x0)
+        sweep_re = _time_sweep_recompute(model, flips, x0)
+        sweep_inc = _time_sweep_incremental(model, flips, x0)
+        single_re = _time_single_recompute(model, flips, x0)
+        single_inc = _time_single_incremental(model, flips, x0)
+
+        instances.append(
+            {
+                "n_nodes": n_nodes,
+                "n_variables": n,
+                "nnz": int(model.nnz),
+                "n_factors": int(model.n_factors),
+                "n_iterations": int(n_iterations),
+                "sweep_recompute_ms": sweep_re / n_iterations * 1e3,
+                "sweep_incremental_ms": sweep_inc / n_iterations * 1e3,
+                "sweep_speedup": sweep_re / max(1e-12, sweep_inc),
+                "single_recompute_ms": single_re / n_iterations * 1e3,
+                "single_incremental_ms": single_inc / n_iterations * 1e3,
+                "single_speedup": single_re / max(1e-12, single_inc),
+            }
+        )
+
+    return {
+        "benchmark": "flip_delta",
+        "scale": scale,
+        "n_communities": n_communities,
+        "instances": instances,
+        "min_single_speedup": min(
+            row["single_speedup"] for row in instances
+        ),
+    }
+
+
+def report_text(report: dict) -> str:
+    """Human-readable table of one flip-delta run."""
+    lines = [
+        "FLIP-DELTA — incremental vs recompute per-sweep cost",
+        f"sparse LFR community QUBOs, k={report['n_communities']}",
+        "-" * 72,
+        f"{'nk':>7} {'nnz':>9} {'mode':>7} {'recompute':>11} "
+        f"{'incremental':>12} {'speedup':>8}",
+    ]
+    for row in report["instances"]:
+        for mode in ("sweep", "single"):
+            lines.append(
+                f"{row['n_variables']:>7} {row['nnz']:>9} {mode:>7} "
+                f"{row[f'{mode}_recompute_ms']:>9.3f}ms "
+                f"{row[f'{mode}_incremental_ms']:>10.3f}ms "
+                f"{row[f'{mode}_speedup']:>7.1f}x"
+            )
+    lines.append(
+        f"min single-flip speedup: {report['min_single_speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def save_json(report: dict) -> Path:
+    """Persist the JSON report under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "flip_delta.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def test_flip_delta(benchmark):
+    """pytest-benchmark entry point, consistent with the other benches."""
+    scale = min(bench_scale(), 0.5)
+    report = benchmark.pedantic(
+        run_flip_delta, args=(scale,), rounds=1, iterations=1
+    )
+    save_report("flip_delta", report_text(report))
+    path = save_json(report)
+    print(f"[json saved to {path}]")
+
+    assert len(report["instances"]) == 2
+    # The engine must beat per-iteration recomputation on sparse models.
+    assert report["min_single_speedup"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="force small instances regardless of REPRO_BENCH_SCALE — "
+        "used by CI",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.3 if args.quick else bench_scale()
+    report = run_flip_delta(scale)
+    save_report("flip_delta", report_text(report))
+    path = save_json(report)
+    print(f"[json saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    sys.exit(main())

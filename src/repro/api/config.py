@@ -42,7 +42,24 @@ def _init_fields(cls: type) -> tuple[str, ...]:
 
 
 class Configurable:
-    """Mixin adding dict-config construction and serialisation."""
+    """Mixin adding dict-config construction and serialisation.
+
+    Every registered solver and detector mixes this in, giving the
+    ``repro.api`` facade its "one JSON dict describes one component"
+    contract.
+
+    Examples
+    --------
+    >>> from repro.api import SOLVERS
+    >>> solver = SOLVERS.get("tabu").from_config({"n_iterations": 500})
+    >>> solver.to_config()["n_iterations"]
+    500
+    >>> try:  # unknown keys are rejected, naming the known ones
+    ...     SOLVERS.get("tabu").from_config({"bogus": 1})
+    ... except ConfigError as err:
+    ...     "known keys" in str(err)
+    True
+    """
 
     #: Constructor-parameter -> stored-attribute overrides, for classes
     #: that normalise an argument on assignment but keep the original
@@ -51,7 +68,14 @@ class Configurable:
 
     @classmethod
     def config_fields(cls) -> tuple[str, ...]:
-        """Names of the config keys accepted by :meth:`from_config`."""
+        """Names of the config keys accepted by :meth:`from_config`.
+
+        Examples
+        --------
+        >>> from repro.api import SOLVERS
+        >>> "n_sweeps" in SOLVERS.get("simulated-annealing").config_fields()
+        True
+        """
         return _init_fields(cls)
 
     @classmethod
@@ -61,7 +85,14 @@ class Configurable:
 
     @classmethod
     def from_config(cls, config: dict[str, Any] | None = None):
-        """Instantiate from a config dict, rejecting unknown keys."""
+        """Instantiate from a config dict, rejecting unknown keys.
+
+        Examples
+        --------
+        >>> from repro.solvers import GreedySolver
+        >>> GreedySolver.from_config({"n_restarts": 3}).n_restarts
+        3
+        """
         config = {} if config is None else config
         if not isinstance(config, dict):
             raise ConfigError(
@@ -84,6 +115,12 @@ class Configurable:
         ``json.dumps`` (``Infinity`` is not valid JSON); constructors
         read ``None`` back as the non-finite sentinel (e.g. solver
         ``time_limit=None`` -> no limit).
+
+        Examples
+        --------
+        >>> from repro.solvers import TabuSolver
+        >>> TabuSolver().to_config()["time_limit"] is None  # inf -> None
+        True
         """
         config: dict[str, Any] = {}
         for name in self.config_fields():

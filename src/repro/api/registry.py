@@ -40,6 +40,15 @@ class Registry:
     populate:
         Zero-argument callable importing the modules whose classes
         register themselves; invoked once, on first lookup.
+
+    Examples
+    --------
+    >>> from repro.api import SOLVERS
+    >>> "tabu" in SOLVERS
+    True
+    >>> solver = SOLVERS.create("tabu", n_iterations=500)
+    >>> solver.n_iterations
+    500
     """
 
     def __init__(
@@ -95,7 +104,14 @@ class Registry:
     # Lookup
     # ------------------------------------------------------------------
     def available(self) -> tuple[str, ...]:
-        """Sorted public names of every registered class."""
+        """Sorted public names of every registered class.
+
+        Examples
+        --------
+        >>> from repro.api import SOLVERS
+        >>> "simulated-annealing" in SOLVERS.available()
+        True
+        """
         self._ensure_populated()
         return tuple(sorted(self._entries))
 
@@ -115,6 +131,12 @@ class Registry:
 
         ``config`` goes through the class's ``from_config``, so unknown
         keys are rejected with the list of known ones.
+
+        Examples
+        --------
+        >>> from repro.api import SOLVERS
+        >>> SOLVERS.create("greedy", n_restarts=2).n_restarts
+        2
         """
         return self.get(name).from_config(config)
 
@@ -143,11 +165,52 @@ def _populate_detectors() -> None:
     import repro.community  # noqa: F401
 
 
-#: All QUBO solvers, by public name (``qhd``, ``simulated-annealing``, ...).
 SOLVERS = Registry("solver", populate=_populate_solvers)
+"""All QUBO solvers, by public name.
 
-#: All community detectors, by public name (``qhd``, ``direct``, ...).
+The one solver name table in the library; the CLI, the experiments and
+:func:`repro.api.build_solver` all resolve through it.
+
+Examples
+--------
+>>> from repro.api import SOLVERS
+>>> sorted(set(SOLVERS.available()) & {"qhd", "tabu"})
+['qhd', 'tabu']
+>>> SOLVERS.create("simulated-annealing", n_sweeps=50).n_sweeps
+50
+"""
+
 DETECTORS = Registry("detector", populate=_populate_detectors)
+"""All community detectors, by public name.
+
+Examples
+--------
+>>> from repro.api import DETECTORS
+>>> "qhd" in DETECTORS.available()
+True
+>>> type(DETECTORS.create("qhd")).__name__
+'QhdCommunityDetector'
+"""
+
+# doctest never sees the attribute docstrings above (bare string
+# literals after an assignment are discarded at runtime), so their
+# examples are registered explicitly for tests/test_package.py.
+__test__ = {
+    "SOLVERS": """
+        >>> from repro.api import SOLVERS
+        >>> sorted(set(SOLVERS.available()) & {"qhd", "tabu"})
+        ['qhd', 'tabu']
+        >>> SOLVERS.create("simulated-annealing", n_sweeps=50).n_sweeps
+        50
+        """,
+    "DETECTORS": """
+        >>> from repro.api import DETECTORS
+        >>> "qhd" in DETECTORS.available()
+        True
+        >>> type(DETECTORS.create("qhd")).__name__
+        'QhdCommunityDetector'
+        """,
+}
 
 
 def resolve_solver(value: Any):

@@ -92,6 +92,16 @@ def build_detector(
     The spec's ``solver``/``solver_config`` become the detector's
     ``solver`` entry (unless ``detector_config`` already pins one), and
     the spec ``seed`` is threaded into both configs wherever accepted.
+
+    Examples
+    --------
+    >>> detector = build_detector({
+    ...     "detector": "qhd",
+    ...     "solver": "greedy",
+    ...     "seed": 3,
+    ... })
+    >>> detector.solver.name
+    'greedy'
     """
     spec = _spec_of(spec)
     config = dict(spec.detector_config)
@@ -174,6 +184,20 @@ def detect_batch(
     max_workers:
         Thread-pool width; ``None`` sizes the pool to the batch (capped
         at 8) and ``1`` runs inline without a pool.
+
+    Examples
+    --------
+    >>> from repro.graphs import ring_of_cliques
+    >>> graphs = [ring_of_cliques(3, 5)[0] for _ in range(3)]
+    >>> artifacts = detect_batch(graphs, {
+    ...     "solver": "greedy",
+    ...     "n_communities": 3,
+    ...     "seed": 0,
+    ... }, max_workers=2)
+    >>> [a.index for a in artifacts]
+    [0, 1, 2]
+    >>> len({a.result.n_communities for a in artifacts})
+    1
     """
     spec = _spec_of(spec)
     graphs = list(graphs)

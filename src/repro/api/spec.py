@@ -153,6 +153,19 @@ class RunArtifact:
         Effective run seed (the spec's, echoed for provenance).
     index:
         Position of the input within a batch (0 for single runs).
+
+    Examples
+    --------
+    >>> import json
+    >>> import numpy as np
+    >>> import repro.api as api
+    >>> from repro.qubo import QuboModel
+    >>> model = QuboModel(np.zeros((2, 2)), [-1.0, 1.0])
+    >>> artifact = api.solve(model, {"solver": "greedy", "seed": 0})
+    >>> sorted(artifact.timings)
+    ['build', 'run', 'total']
+    >>> json.loads(artifact.to_json())["spec"]["solver"]
+    'greedy'
     """
 
     spec: RunSpec

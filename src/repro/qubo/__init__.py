@@ -13,6 +13,7 @@ O((n·k)^2) array.
 
 from repro.qubo.model import BaseQubo, QuboModel
 from repro.qubo.sparse import SparseQuboModel
+from repro.qubo.delta import BatchFlipDeltaState, FlipDeltaState
 from repro.qubo.builders import (
     DENSE_DENSITY_LIMIT,
     DENSE_VARIABLE_LIMIT,
@@ -46,6 +47,8 @@ __all__ = [
     "BaseQubo",
     "QuboModel",
     "SparseQuboModel",
+    "FlipDeltaState",
+    "BatchFlipDeltaState",
     "CommunityQubo",
     "VariableMap",
     "build_community_qubo",

@@ -1,0 +1,412 @@
+"""Incremental flip-delta state for single-flip local search.
+
+Single-flip metaheuristics (simulated annealing, tabu search, 1-opt
+descent) spend their whole budget asking one question — *what does
+flipping bit ``i`` cost?* — and answering it from scratch is a full
+mat-vec: ``model.flip_deltas(x)`` is O(nnz) per call, so a sweep over
+``n`` variables costs O(n · nnz).  This module maintains the answer
+*incrementally* instead.
+
+:class:`FlipDeltaState` materialises the local fields
+``h = 2 S x + c`` (factor terms included) **once** per trajectory and
+then, on each accepted flip of bit ``i`` with sign ``s = 1 - 2 x_i``,
+applies the exact rank-one update
+
+    h_j  +=  2 s S_ij            for j in row i's nonzeros,
+
+so a flip costs O(row nnz) — CSR row slices on
+:class:`repro.qubo.SparseQuboModel`, one dense row on
+:class:`repro.qubo.QuboModel`.  The flip delta of any bit is then the
+O(1) read ``delta_j = (1 - 2 x_j) h_j``.
+
+Low-rank "squared linear form" factors (the sparse community QUBO's
+modularity null model and penalty terms) fold into the same maintained
+fields: flipping bit ``i`` reads column ``i`` of ``F`` (CSC slice) to
+find the factor rows touching the bit and propagates
+
+    h_j  +=  2 s · sum_{t : f_ti != 0} alpha_t f_ti f_tj
+
+row by row into ``h`` — only those rows are visited, no projection of
+the full state is ever recomputed.  (The sum double-counts the zero
+effective self-coupling at ``j = i``; a single ``2 s d_i`` correction
+with the cached factor diagonal cancels it.)
+
+:class:`BatchFlipDeltaState` is the same engine over a ``(batch, n)``
+population, one independent trajectory per row — the shape the QHD
+refinement pass (:func:`repro.solvers.greedy.local_search_batch`)
+descends on.
+
+Solvers reach this engine through
+:func:`repro.solvers.base.flip_state`; see ``docs/architecture.md`` for
+the cost model.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.qubo import QuboModel
+>>> from repro.qubo.delta import FlipDeltaState
+>>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+>>> state = FlipDeltaState(model, np.zeros(2))
+>>> state.deltas()
+array([-1., -1.])
+>>> state.flip(0)  # accept: x becomes (1, 0)
+-1.0
+>>> state.energy == model.evaluate(state.x)
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import QuboError
+from repro.qubo.model import BaseQubo
+
+
+def _factor_terms_of(model: BaseQubo):
+    """The model's canonicalised factor internals, or ``None``."""
+    getter = getattr(model, "factor_terms", None)
+    return None if getter is None else getter()
+
+
+def _coupling_slots(model: BaseQubo):
+    """``(dense_rows, indptr, indices, data)`` row access for ``model``.
+
+    Dense models fill the first slot (row gathers), sparse models the
+    CSR triple; the unused slots are ``None``.  Shared by both state
+    classes so their row-update wiring cannot diverge.
+    """
+    coupling = model.coupling
+    if sparse.issparse(coupling):
+        csr = coupling.tocsr()
+        return None, csr.indptr, csr.indices, csr.data
+    return np.asarray(coupling, dtype=np.float64), None, None, None
+
+
+def _factor_slots(model: BaseQubo):
+    """Factor arrays for the flip update, or ``None`` without factors.
+
+    Returns ``(alpha, row_indptr, row_indices, row_data, col_indptr,
+    col_indices, col_data, diagonal)`` — the CSR rows for propagation,
+    the CSC columns for touched-row lookup, and the cached diagonal for
+    the self-coupling correction.
+    """
+    factors = _factor_terms_of(model)
+    if factors is None:
+        return None
+    alpha, f_csr, f_csc, diag = factors
+    return (
+        alpha,
+        f_csr.indptr,
+        f_csr.indices,
+        f_csr.data,
+        f_csc.indptr,
+        f_csc.indices,
+        f_csc.data,
+        diag,
+    )
+
+
+def _bind_model_slots(state, model: BaseQubo) -> None:
+    """Wire the coupling-row and factor arrays a state's flips read.
+
+    Shared by :class:`FlipDeltaState` and :class:`BatchFlipDeltaState`
+    so the two constructors cannot diverge.
+    """
+    (
+        state._dense_rows,
+        state._row_indptr,
+        state._row_indices,
+        state._row_data,
+    ) = _coupling_slots(model)
+    slots = _factor_slots(model)
+    if slots is None:
+        state._f_alpha = None
+    else:
+        (
+            state._f_alpha,
+            state._f_row_indptr,
+            state._f_row_indices,
+            state._f_row_data,
+            state._f_col_indptr,
+            state._f_col_indices,
+            state._f_col_data,
+            state._f_diag,
+        ) = slots
+
+
+class FlipDeltaState:
+    """Incrementally maintained flip deltas for one search trajectory.
+
+    Parameters
+    ----------
+    model:
+        Dense or sparse :class:`repro.qubo.model.BaseQubo`.
+    x:
+        Binary starting assignment, length ``n_variables``; copied.
+
+    Notes
+    -----
+    Construction performs the single full materialisation of the
+    trajectory (one ``local_fields`` mat-vec plus one ``evaluate``);
+    afterwards every accepted flip is O(coupling-row nnz + factor-row
+    nnz).  The maintained fields drift from a fresh recomputation only
+    at floating-point rounding level; :meth:`refresh` resynchronises
+    them exactly when a caller wants to pay the mat-vec.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.qubo import QuboModel
+    >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+    >>> state = FlipDeltaState(model, [0, 1])
+    >>> state.delta(0) == float(model.flip_delta([0, 1], 0))
+    True
+    >>> state.flip(0)
+    1.0
+    >>> np.allclose(state.deltas(), model.flip_deltas(state.x))
+    True
+    """
+
+    def __init__(self, model: BaseQubo, x) -> None:
+        if not isinstance(model, BaseQubo):
+            raise QuboError(
+                f"model must be a BaseQubo, got {type(model).__name__}"
+            )
+        vec = np.array(x, dtype=np.float64)
+        if vec.shape != (model.n_variables,):
+            raise QuboError(
+                f"x must have shape ({model.n_variables},), got {vec.shape}"
+            )
+        self._model = model
+        self._x = vec
+        _bind_model_slots(self, model)
+        self.refresh()
+        self._n_flips = 0
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> BaseQubo:
+        """The model this state tracks."""
+        return self._model
+
+    @property
+    def n_variables(self) -> int:
+        """Number of binary variables."""
+        return self._x.shape[0]
+
+    @property
+    def x(self) -> np.ndarray:
+        """Current assignment (read-only float64 view in {0, 1})."""
+        view = self._x.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def energy(self) -> float:
+        """Running energy of the current assignment.
+
+        Maintained as ``E(x0) + sum(accepted deltas)`` — the same
+        accumulation the pre-delta-state sweep loops used; re-evaluate
+        through the model when exactness at the last ulp matters.
+        """
+        return self._energy
+
+    @property
+    def n_flips(self) -> int:
+        """Accepted flips applied since construction."""
+        return self._n_flips
+
+    def delta(self, index: int) -> float:
+        """Energy change of flipping bit ``index`` — an O(1) read."""
+        i = int(index)
+        return float((1.0 - 2.0 * self._x[i]) * self._fields[i])
+
+    def deltas(self) -> np.ndarray:
+        """Energy change of flipping each bit (fresh array, O(n))."""
+        return (1.0 - 2.0 * self._x) * self._fields
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def flip(self, index: int) -> float:
+        """Accept the flip of bit ``index``; returns its energy delta.
+
+        Updates the assignment, the running energy and the fields of the
+        flipped bit's coupling-row neighbours (plus the factor rows
+        touching it) in O(row nnz).
+        """
+        i = int(index)
+        fields = self._fields
+        s = 1.0 - 2.0 * self._x[i]
+        delta = float(s * fields[i])
+
+        if self._dense_rows is not None:
+            fields += (2.0 * s) * self._dense_rows[i]
+        else:
+            a, b = self._row_indptr[i], self._row_indptr[i + 1]
+            fields[self._row_indices[a:b]] += (2.0 * s) * self._row_data[a:b]
+
+        if self._f_alpha is not None:
+            ca, cb = self._f_col_indptr[i], self._f_col_indptr[i + 1]
+            trows = self._f_col_indices[ca:cb]
+            if trows.size:
+                fvals = self._f_col_data[ca:cb]
+                weights = (2.0 * s) * (self._f_alpha[trows] * fvals)
+                indptr = self._f_row_indptr
+                indices = self._f_row_indices
+                data = self._f_row_data
+                for t, w in zip(trows.tolist(), weights.tolist()):
+                    ra, rb = indptr[t], indptr[t + 1]
+                    fields[indices[ra:rb]] += w * data[ra:rb]
+                # The row updates wrote 2 s d_i onto the flipped bit's own
+                # field; the canonical form has zero effective
+                # self-coupling, so cancel it with the cached diagonal.
+                fields[i] -= (2.0 * s) * self._f_diag[i]
+
+        self._x[i] = 1.0 - self._x[i]
+        self._energy += delta
+        self._n_flips += 1
+        return delta
+
+    def refresh(self) -> None:
+        """Resynchronise fields and energy from the model.
+
+        One full mat-vec — the same cost as a fresh
+        ``model.flip_deltas(x)`` — discarding any accumulated
+        floating-point drift.
+        """
+        self._fields = np.asarray(
+            self._model.local_fields(self._x), dtype=np.float64
+        ).copy()
+        self._energy = float(self._model.evaluate(self._x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlipDeltaState(n_variables={self.n_variables}, "
+            f"n_flips={self._n_flips}, energy={self._energy:g})"
+        )
+
+
+class BatchFlipDeltaState:
+    """Independent :class:`FlipDeltaState` trajectories over a batch.
+
+    Maintains fields of shape ``(batch, n)`` for a population of
+    assignments, one trajectory per row — the state behind the
+    vectorised 1-opt descent that polishes QHD measurement samples.
+    Dense models update all flipped rows with one fancy-indexed gather
+    of coupling rows; sparse models update each flipped row in
+    O(row nnz + factor-row nnz) exactly like the single-trajectory
+    state.
+
+    Parameters
+    ----------
+    model:
+        Dense or sparse :class:`repro.qubo.model.BaseQubo`.
+    xs:
+        Binary assignments, shape ``(batch, n_variables)``; copied.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.qubo import QuboModel
+    >>> from repro.qubo.delta import BatchFlipDeltaState
+    >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+    >>> state = BatchFlipDeltaState(model, np.zeros((2, 2)))
+    >>> state.flip(np.array([0, 1]), np.array([0, 1]))  # one bit per row
+    array([-1., -1.])
+    >>> np.allclose(state.energies, model.evaluate_batch(state.x))
+    True
+    """
+
+    def __init__(self, model: BaseQubo, xs: np.ndarray) -> None:
+        if not isinstance(model, BaseQubo):
+            raise QuboError(
+                f"model must be a BaseQubo, got {type(model).__name__}"
+            )
+        batch = np.array(xs, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[1] != model.n_variables:
+            raise QuboError(
+                f"xs must have shape (batch, {model.n_variables}), "
+                f"got {batch.shape}"
+            )
+        self._model = model
+        self._x = batch
+        self._fields = np.asarray(
+            model.local_fields_batch(batch), dtype=np.float64
+        ).copy()
+        self._energies = np.asarray(
+            model.evaluate_batch(batch), dtype=np.float64
+        ).copy()
+        _bind_model_slots(self, model)
+
+    @property
+    def x(self) -> np.ndarray:
+        """Current assignments (read-only view, shape ``(batch, n)``)."""
+        view = self._x.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Running energies per trajectory (read-only view)."""
+        view = self._energies.view()
+        view.flags.writeable = False
+        return view
+
+    def deltas(self) -> np.ndarray:
+        """Flip deltas for every (trajectory, bit), shape ``(batch, n)``."""
+        return (1.0 - 2.0 * self._x) * self._fields
+
+    def flip(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Accept one flip per listed trajectory; returns their deltas.
+
+        ``rows`` must be distinct trajectory indices (each row flips at
+        most one bit per call); ``cols`` gives the bit flipped in each.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        signs = 1.0 - 2.0 * self._x[rows, cols]
+        deltas = signs * self._fields[rows, cols]
+
+        if self._dense_rows is not None:
+            self._fields[rows] += (
+                (2.0 * signs)[:, None] * self._dense_rows[cols]
+            )
+        else:
+            indptr = self._row_indptr
+            indices = self._row_indices
+            data = self._row_data
+            for r, c, s in zip(rows.tolist(), cols.tolist(), signs.tolist()):
+                a, b = indptr[c], indptr[c + 1]
+                self._fields[r, indices[a:b]] += (2.0 * s) * data[a:b]
+
+        if self._f_alpha is not None:
+            f_indptr = self._f_row_indptr
+            f_indices = self._f_row_indices
+            f_data = self._f_row_data
+            for r, c, s in zip(rows.tolist(), cols.tolist(), signs.tolist()):
+                ca, cb = self._f_col_indptr[c], self._f_col_indptr[c + 1]
+                trows = self._f_col_indices[ca:cb]
+                if not trows.size:
+                    continue
+                fvals = self._f_col_data[ca:cb]
+                weights = (2.0 * s) * (self._f_alpha[trows] * fvals)
+                row_fields = self._fields[r]
+                for t, w in zip(trows.tolist(), weights.tolist()):
+                    ra, rb = f_indptr[t], f_indptr[t + 1]
+                    row_fields[f_indices[ra:rb]] += w * f_data[ra:rb]
+                row_fields[c] -= (2.0 * s) * self._f_diag[c]
+
+        self._x[rows, cols] = 1.0 - self._x[rows, cols]
+        self._energies[rows] += deltas
+        return deltas
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchFlipDeltaState(batch={self._x.shape[0]}, "
+            f"n_variables={self._x.shape[1]})"
+        )

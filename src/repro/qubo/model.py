@@ -20,7 +20,10 @@ Two storage backends implement one interface, :class:`BaseQubo`:
 All solvers in :mod:`repro.solvers` and :mod:`repro.qhd` consume
 :class:`BaseQubo`; every hot operation (``evaluate``, ``local_fields``,
 ``flip_deltas`` and their batched forms) is a mat-vec against whichever
-storage the instance carries.
+storage the instance carries.  Single-flip sweep loops do not call these
+per iteration: they materialise a
+:class:`repro.qubo.delta.FlipDeltaState` once per trajectory and pay
+only O(row nnz) per accepted flip afterwards.
 
 Storage is canonicalised at construction into a single symmetric
 zero-diagonal coupling matrix plus an effective linear vector, so energies
@@ -96,8 +99,10 @@ class BaseQubo(ABC):
         """Energy change of flipping each bit of binary assignment ``x``.
 
         ``delta[i] = E(x with bit i flipped) - E(x)``; derived from
-        :meth:`local_fields` in one mat-vec, the workhorse of
-        greedy/local-search refinement.
+        :meth:`local_fields` in one mat-vec.  Sweep loops should prefer
+        the incremental :class:`repro.qubo.delta.FlipDeltaState`, which
+        materialises this array once and maintains it in O(row nnz) per
+        accepted flip.
         """
         vec = np.asarray(x, dtype=np.float64)
         return (1.0 - 2.0 * vec) * self.local_fields(vec)

@@ -105,6 +105,7 @@ class SparseQuboModel(BaseQubo):
 
         self._factor_matrix = None
         self._factor_matrix_t = None
+        self._factor_matrix_csc = None
         self._factor_coefficients = None
         self._factor_diagonal = None
         if factors is not None:
@@ -196,6 +197,37 @@ class SparseQuboModel(BaseQubo):
     # ------------------------------------------------------------------
     # Factor-term helpers
     # ------------------------------------------------------------------
+    def factor_terms(
+        self,
+    ) -> tuple[np.ndarray, sparse.csr_matrix, sparse.csc_matrix, np.ndarray] | None:
+        """Canonicalised factor internals for incremental flip engines.
+
+        Returns ``None`` when the model has no factors, else the tuple
+        ``(coefficients, matrix_csr, matrix_csc, diagonal)`` where
+        ``coefficients`` is ``alpha`` (length ``T``), ``matrix_csr`` /
+        ``matrix_csc`` are the same ``(T, n)`` factor matrix ``F`` in row
+        and column layout (the CSC copy is built lazily and cached, so
+        repeated state materialisations — e.g. one per local-search
+        restart — share it), and ``diagonal`` is
+        ``d_i = sum_t alpha_t f_ti^2``, the diagonal correction already
+        folded into :attr:`effective_linear`.
+
+        :class:`repro.qubo.delta.FlipDeltaState` uses the CSC columns to
+        find the factor rows touching a flipped bit and the CSR rows to
+        propagate the rank-``|T_i|`` field change directly into its
+        maintained fields — never reprojecting the full state.
+        """
+        if self._factor_matrix is None:
+            return None
+        if self._factor_matrix_csc is None:
+            self._factor_matrix_csc = self._factor_matrix.tocsc()
+        return (
+            self._factor_coefficients,
+            self._factor_matrix,
+            self._factor_matrix_csc,
+            self._factor_diagonal,
+        )
+
     def _factor_quadratic(self, vec: np.ndarray) -> float:
         """Factor contribution to ``x^T C x`` for one assignment."""
         if self._factor_matrix is None:

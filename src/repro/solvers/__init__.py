@@ -7,7 +7,13 @@ otherwise — the two statuses the paper's evaluation methodology keys on
 (§V-B).
 """
 
-from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
+from repro.solvers.base import (
+    QuboSolver,
+    SolveResult,
+    SolverStatus,
+    batch_flip_state,
+    flip_state,
+)
 from repro.solvers.bruteforce import BruteForceSolver
 from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.solvers.greedy import GreedySolver, local_search
@@ -19,6 +25,8 @@ __all__ = [
     "QuboSolver",
     "SolveResult",
     "SolverStatus",
+    "flip_state",
+    "batch_flip_state",
     "BruteForceSolver",
     "BranchAndBoundSolver",
     "GreedySolver",

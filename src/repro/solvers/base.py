@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.api.config import Configurable
 from repro.exceptions import SolverError
+from repro.qubo.delta import BatchFlipDeltaState, FlipDeltaState
 from repro.qubo.model import BaseQubo
 from repro.utils.serialization import to_jsonable
 
@@ -110,6 +111,37 @@ class SolveResult:
             iterations=int(data.get("iterations", 0)),
             metadata=dict(data.get("metadata", {})),
         )
+
+
+def flip_state(model: BaseQubo, x: np.ndarray) -> FlipDeltaState:
+    """Materialise the incremental flip-delta state for one trajectory.
+
+    The shared entry point of every single-flip sweep loop (simulated
+    annealing, tabu, greedy 1-opt): one full
+    :class:`~repro.qubo.delta.FlipDeltaState` materialisation per
+    restart, then O(coupling-row nnz) per accepted flip and O(1) per
+    queried delta — instead of an O(nnz) ``model.flip_deltas`` mat-vec
+    per iteration.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.qubo import QuboModel
+    >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+    >>> state = flip_state(model, np.zeros(2))
+    >>> state.flip(int(np.argmin(state.deltas())))
+    -1.0
+    """
+    return FlipDeltaState(model, x)
+
+
+def batch_flip_state(model: BaseQubo, xs: np.ndarray) -> BatchFlipDeltaState:
+    """Batched :func:`flip_state`: one trajectory per row of ``xs``.
+
+    Used by the vectorised 1-opt descent behind the QHD refinement pass
+    (:func:`repro.solvers.greedy.local_search_batch`).
+    """
+    return BatchFlipDeltaState(model, xs)
 
 
 class QuboSolver(Configurable, ABC):

@@ -13,7 +13,13 @@ import numpy as np
 
 from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
-from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
+from repro.solvers.base import (
+    QuboSolver,
+    SolveResult,
+    SolverStatus,
+    batch_flip_state,
+    flip_state,
+)
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import Stopwatch, TimeBudget
 from repro.utils.validation import check_integer, check_time_limit
@@ -23,18 +29,20 @@ def greedy_construct(model: QuboModel) -> np.ndarray:
     """Build an assignment by repeatedly setting the most-improving bit.
 
     Starts from all-zeros and flips the single bit with the most negative
-    energy delta until no flip improves — a deterministic O(n^2)-per-flip
-    construction that lands in a 1-opt local minimum.
+    energy delta until no flip improves — a deterministic construction
+    that lands in a 1-opt local minimum.  Deltas are maintained
+    incrementally (one materialisation, O(row nnz) per accepted flip),
+    so each step costs O(n) for the argmin rather than a full mat-vec.
     """
     n = model.n_variables
-    x = np.zeros(n, dtype=np.float64)
+    state = flip_state(model, np.zeros(n, dtype=np.float64))
     for _ in range(2 * n):
-        deltas = model.flip_deltas(x)
+        deltas = state.deltas()
         best = int(np.argmin(deltas))
         if deltas[best] >= -1e-12:
             break
-        x[best] = 1.0 - x[best]
-    return x.astype(np.int8)
+        state.flip(best)
+    return state.x.astype(np.int8)
 
 
 def local_search(
@@ -44,8 +52,11 @@ def local_search(
 ) -> tuple[np.ndarray, float, int]:
     """Steepest-descent 1-opt local search from ``x``.
 
-    Each sweep flips the single best-improving bit (recomputing all deltas
-    with one matrix-vector product) until a local minimum.
+    Each sweep flips the single best-improving bit until a local
+    minimum.  The flip deltas come from an incrementally maintained
+    :class:`~repro.qubo.delta.FlipDeltaState` (one materialisation at
+    ``x``, O(row nnz) per accepted flip), so a sweep costs O(n) for the
+    argmin instead of a full ``model.flip_deltas`` mat-vec.
 
     Returns
     -------
@@ -53,15 +64,16 @@ def local_search(
         The 1-opt local minimum reached, its energy and the sweep count.
     """
     check_integer(max_sweeps, "max_sweeps", minimum=1)
-    current = np.asarray(x, dtype=np.float64).copy()
+    state = flip_state(model, np.asarray(x, dtype=np.float64))
     sweeps = 0
     for sweeps in range(1, max_sweeps + 1):
-        deltas = model.flip_deltas(current)
+        deltas = state.deltas()
         best = int(np.argmin(deltas))
         if deltas[best] >= -1e-12:
             sweeps -= 1
             break
-        current[best] = 1.0 - current[best]
+        state.flip(best)
+    current = state.x
     return current.astype(np.int8), model.evaluate(current), sweeps
 
 
@@ -72,36 +84,37 @@ def local_search_batch(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorised 1-opt descent on a whole batch of assignments at once.
 
-    Every sweep computes all flip deltas for all batch rows with a single
-    ``(batch, n) @ (n, n)`` product and flips each row's best bit, skipping
-    converged rows.  Used by the QHD solver to refine all measurement
-    samples simultaneously.
+    Every sweep flips each unconverged row's best-improving bit, reading
+    the deltas from an incrementally maintained
+    :class:`~repro.qubo.delta.BatchFlipDeltaState` — one field
+    materialisation up front, then O(row nnz) per accepted flip instead
+    of a full ``(batch, n)`` mat-vec per sweep.  Used by the QHD solver
+    to refine all measurement samples simultaneously.
 
     Returns
     -------
     (xs_local, energies): refined int8 assignments and their energies.
     """
     check_integer(max_sweeps, "max_sweeps", minimum=1)
-    batch = np.asarray(xs, dtype=np.float64).copy()
+    batch = np.asarray(xs, dtype=np.float64)
     if batch.ndim != 2:
         raise ValueError(f"xs must be 2-D, got shape {batch.shape}")
+    state = batch_flip_state(model, batch)
     active = np.ones(len(batch), dtype=bool)
     for _ in range(max_sweeps):
         if not np.any(active):
             break
-        fields = model.local_fields_batch(batch)
-        deltas = (1.0 - 2.0 * batch) * fields
+        deltas = state.deltas()
         best = np.argmin(deltas, axis=1)
         rows = np.arange(len(batch))
         improving = deltas[rows, best] < -1e-12
         improving &= active
         if not np.any(improving):
             break
-        flip_rows = rows[improving]
-        flip_cols = best[improving]
-        batch[flip_rows, flip_cols] = 1.0 - batch[flip_rows, flip_cols]
+        state.flip(rows[improving], best[improving])
         active = improving
-    return batch.astype(np.int8), model.evaluate_batch(batch)
+    result = state.x
+    return result.astype(np.int8), model.evaluate_batch(result)
 
 
 @SOLVERS.register("greedy")

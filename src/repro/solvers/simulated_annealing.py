@@ -11,7 +11,12 @@ import numpy as np
 
 from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
-from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
+from repro.solvers.base import (
+    QuboSolver,
+    SolveResult,
+    SolverStatus,
+    flip_state,
+)
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import Stopwatch, TimeBudget
 from repro.utils.validation import (
@@ -89,23 +94,26 @@ class SimulatedAnnealingSolver(QuboSolver):
 
         for _ in range(self.n_restarts):
             x = (rng.random(n) < 0.5).astype(np.float64)
-            energy = model.evaluate(x)
+            # One full delta materialisation per restart; inside the
+            # sweep loop every query is O(1) and every accepted flip is
+            # an O(row nnz) incremental update — never a fresh
+            # model.flip_delta(s) mat-vec.
+            state = flip_state(model, x)
             temperature = t_initial
             for _ in range(self.n_sweeps):
                 total_sweeps += 1
                 flip_order = rng.permutation(n)
                 unit_draws = rng.random(n)
                 for pos, var in enumerate(flip_order):
-                    delta = model.flip_delta(x, int(var))
+                    delta = state.delta(int(var))
                     accept = delta <= 0.0 or unit_draws[pos] < np.exp(
                         -delta / temperature
                     )
                     if accept:
-                        x[var] = 1.0 - x[var]
-                        energy += delta
-                if energy < best_energy:
-                    best_energy = energy
-                    best_x = x.astype(np.int8)
+                        state.flip(int(var))
+                if state.energy < best_energy:
+                    best_energy = state.energy
+                    best_x = state.x.astype(np.int8)
                 temperature *= ratio
                 if budget.exhausted():
                     hit_deadline = True

@@ -12,7 +12,12 @@ import numpy as np
 
 from repro.api.registry import SOLVERS
 from repro.qubo.model import QuboModel
-from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
+from repro.solvers.base import (
+    QuboSolver,
+    SolveResult,
+    SolverStatus,
+    flip_state,
+)
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.timer import Stopwatch, TimeBudget
 from repro.utils.validation import check_integer, check_time_limit
@@ -60,7 +65,12 @@ class TabuSolver(QuboSolver):
         tenure = self.tenure or max(10, n // 10)
 
         x = (rng.random(n) < 0.5).astype(np.float64)
-        energy = model.evaluate(x)
+        # One full delta materialisation per trajectory; each iteration
+        # below reads the maintained O(n) delta array and each accepted
+        # flip applies an O(row nnz) incremental update instead of a
+        # fresh model.flip_deltas mat-vec.
+        state = flip_state(model, x)
+        energy = state.energy
         best_x = x.astype(np.int8)
         best_energy = energy
         tabu_until = np.zeros(n, dtype=np.int64)
@@ -68,7 +78,7 @@ class TabuSolver(QuboSolver):
 
         iteration = 0
         for iteration in range(1, self.n_iterations + 1):
-            deltas = model.flip_deltas(x)
+            deltas = state.deltas()
             # Mask tabu moves unless they aspire to a new global best.
             allowed = tabu_until < iteration
             aspiring = (energy + deltas) < (best_energy - 1e-12)
@@ -79,12 +89,12 @@ class TabuSolver(QuboSolver):
                 break  # everything tabu and nothing aspires: stuck
             masked = np.where(candidates, deltas, np.inf)
             var = int(np.argmin(masked))
-            x[var] = 1.0 - x[var]
-            energy += float(deltas[var])
+            state.flip(var)
+            energy = state.energy
             tabu_until[var] = iteration + tenure
             if energy < best_energy - 1e-12:
                 best_energy = energy
-                best_x = x.astype(np.int8)
+                best_x = state.x.astype(np.int8)
             if iteration % 64 == 0 and budget.exhausted():
                 hit_deadline = True
                 break

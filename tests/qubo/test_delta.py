@@ -1,0 +1,222 @@
+"""Property tests for the incremental flip-delta engine.
+
+The contract under test: a :class:`FlipDeltaState` driven through any
+sequence of accepted flips agrees with a fresh ``model.flip_deltas(x)``
+recomputation at the final assignment — on the dense backend, the
+explicit-coupling sparse backend, and the factor-backed sparse backend
+(where factor-row updates fold directly into the maintained fields,
+never a full reprojection).
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import QuboError
+from repro.graphs import lfr_graph, ring_of_cliques
+from repro.qubo import (
+    BatchFlipDeltaState,
+    FlipDeltaState,
+    QuboModel,
+    SparseQuboModel,
+    build_community_qubo,
+)
+from repro.qubo.random_instances import random_qubo
+
+
+def _dense_model(seed, n=32, density=0.3):
+    return random_qubo(n, density, seed=seed)
+
+
+def _sparse_model(seed, n=48, density=0.08):
+    return SparseQuboModel.from_dense(random_qubo(n, density, seed=seed))
+
+
+def _factor_model(seed, n_nodes=40, k=3):
+    graph, _ = lfr_graph(n_nodes, mixing=0.15, seed=seed)
+    return build_community_qubo(graph, k, backend="sparse").model
+
+
+def _random_factor_model(seed, n=30, t=6):
+    rng = np.random.default_rng(seed)
+    coupling = sparse.random(
+        n, n, density=0.1, random_state=rng, format="csr"
+    )
+    f_mat = sparse.random(t, n, density=0.4, random_state=rng, format="csr")
+    return SparseQuboModel(
+        coupling,
+        rng.normal(size=n),
+        offset=0.5,
+        factors=(rng.normal(size=t), f_mat, rng.normal(size=t)),
+    )
+
+
+MODEL_FACTORIES = [
+    pytest.param(_dense_model, id="dense"),
+    pytest.param(_sparse_model, id="sparse"),
+    pytest.param(_factor_model, id="sparse-factors"),
+    pytest.param(_random_factor_model, id="random-factors"),
+]
+
+
+class TestFlipDeltaState:
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_fresh_after_random_flips(self, factory, seed):
+        """After k accepted flips the state matches model.flip_deltas."""
+        model = factory(seed)
+        rng = np.random.default_rng(100 + seed)
+        n = model.n_variables
+        x = (rng.random(n) < 0.5).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        for _ in range(150):
+            state.flip(int(rng.integers(n)))
+        fresh = model.flip_deltas(state.x)
+        np.testing.assert_allclose(state.deltas(), fresh, atol=1e-9)
+        assert state.energy == pytest.approx(
+            model.evaluate(state.x), abs=1e-9
+        )
+        assert state.n_flips == 150
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    def test_initial_deltas_bit_exact(self, factory):
+        """Before any flip the state IS the fresh computation."""
+        model = factory(7)
+        rng = np.random.default_rng(7)
+        x = (rng.random(model.n_variables) < 0.5).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        np.testing.assert_array_equal(state.deltas(), model.flip_deltas(x))
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    def test_flip_returns_applied_delta(self, factory):
+        model = factory(3)
+        rng = np.random.default_rng(3)
+        x = (rng.random(model.n_variables) < 0.5).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        energy_before = state.energy
+        i = int(rng.integers(model.n_variables))
+        expected = state.delta(i)
+        assert state.flip(i) == expected
+        assert state.energy == energy_before + expected
+        # Flipping a bit negates its own delta (its field is unchanged).
+        assert state.delta(i) == pytest.approx(-expected, abs=1e-9)
+
+    def test_single_index_matches_full_array(self):
+        model = _factor_model(5)
+        rng = np.random.default_rng(5)
+        x = (rng.random(model.n_variables) < 0.5).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        for _ in range(30):
+            state.flip(int(rng.integers(model.n_variables)))
+        deltas = state.deltas()
+        for i in range(0, model.n_variables, 7):
+            assert state.delta(i) == deltas[i]
+
+    def test_refresh_resyncs_exactly(self):
+        model = _factor_model(9)
+        rng = np.random.default_rng(9)
+        x = (rng.random(model.n_variables) < 0.5).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        for _ in range(200):
+            state.flip(int(rng.integers(model.n_variables)))
+        state.refresh()
+        np.testing.assert_array_equal(
+            state.deltas(), model.flip_deltas(state.x)
+        )
+        assert state.energy == model.evaluate(state.x)
+
+    def test_x_is_read_only(self):
+        model = _dense_model(0)
+        state = FlipDeltaState(model, np.zeros(model.n_variables))
+        with pytest.raises(ValueError):
+            state.x[0] = 1.0
+
+    def test_rejects_wrong_shape(self):
+        model = _dense_model(0)
+        with pytest.raises(QuboError, match="shape"):
+            FlipDeltaState(model, np.zeros(model.n_variables + 1))
+
+    def test_rejects_non_model(self):
+        with pytest.raises(QuboError, match="BaseQubo"):
+            FlipDeltaState("not a model", np.zeros(3))
+
+    def test_input_vector_not_aliased(self):
+        model = _dense_model(1)
+        x = np.zeros(model.n_variables)
+        state = FlipDeltaState(model, x)
+        state.flip(0)
+        assert x[0] == 0.0  # the caller's array is untouched
+
+
+class TestBatchFlipDeltaState:
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    def test_rows_match_fresh_after_flips(self, factory):
+        """Every trajectory row agrees with fresh per-row recomputation."""
+        model = factory(11)
+        rng = np.random.default_rng(11)
+        n = model.n_variables
+        batch = (rng.random((5, n)) < 0.5).astype(np.float64)
+        state = BatchFlipDeltaState(model, batch)
+        for _ in range(40):
+            rows = np.arange(5)
+            cols = rng.integers(0, n, size=5)
+            state.flip(rows, cols)
+        deltas = state.deltas()
+        for r in range(5):
+            np.testing.assert_allclose(
+                deltas[r], model.flip_deltas(state.x[r]), atol=1e-9
+            )
+        np.testing.assert_allclose(
+            state.energies, model.evaluate_batch(state.x), atol=1e-9
+        )
+
+    def test_partial_row_subset_flips(self):
+        """Flipping a subset of rows leaves the other rows untouched."""
+        model = _sparse_model(13)
+        rng = np.random.default_rng(13)
+        n = model.n_variables
+        batch = (rng.random((4, n)) < 0.5).astype(np.float64)
+        state = BatchFlipDeltaState(model, batch)
+        before = state.deltas()[2].copy()
+        state.flip(np.array([0, 3]), np.array([1, 2]))
+        np.testing.assert_array_equal(state.deltas()[2], before)
+        np.testing.assert_array_equal(state.x[2], batch[2])
+
+    def test_matches_single_trajectory_state(self):
+        """A batch of one evolves exactly like the single-x state."""
+        model = _factor_model(17)
+        rng = np.random.default_rng(17)
+        n = model.n_variables
+        x = (rng.random(n) < 0.5).astype(np.float64)
+        single = FlipDeltaState(model, x)
+        batch = BatchFlipDeltaState(model, x[None, :])
+        for _ in range(25):
+            i = int(rng.integers(n))
+            d_single = single.flip(i)
+            d_batch = batch.flip(np.array([0]), np.array([i]))[0]
+            assert d_single == d_batch
+        np.testing.assert_array_equal(batch.deltas()[0], single.deltas())
+
+    def test_rejects_1d(self):
+        model = _dense_model(0)
+        with pytest.raises(QuboError, match="shape"):
+            BatchFlipDeltaState(model, np.zeros(model.n_variables))
+
+
+class TestFactorTermsAccessor:
+    def test_none_without_factors(self):
+        model = _sparse_model(0)
+        assert model.factor_terms() is None
+
+    def test_shapes_and_caching(self):
+        graph, _ = ring_of_cliques(3, 5)
+        model = build_community_qubo(graph, 3, backend="sparse").model
+        terms = model.factor_terms()
+        assert terms is not None
+        alpha, f_csr, f_csc, diag = terms
+        assert f_csr.shape == f_csc.shape
+        assert f_csr.shape[1] == model.n_variables
+        assert alpha.shape == (f_csr.shape[0],)
+        assert diag.shape == (model.n_variables,)
+        # The CSC copy is built lazily once and shared across calls.
+        assert model.factor_terms()[2] is f_csc

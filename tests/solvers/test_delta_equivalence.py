@@ -1,0 +1,228 @@
+"""Seeded equivalence of the delta-state sweep loops vs the old ones.
+
+The solvers' sweep loops were rewired from per-iteration
+``model.flip_delta(s)`` mat-vecs onto the incremental
+:class:`repro.qubo.delta.FlipDeltaState`.  These tests pin the old
+algorithms as literal reference implementations and assert that the
+rewired solvers reproduce them bit-for-bit under the same seed:
+
+* simulated annealing — identical on every backend (dense, explicit
+  sparse, factor-backed sparse);
+* tabu — identical on dense and explicit-sparse models.  On
+  factor-backed community QUBOs the label symmetry produces *exactly*
+  tied deltas, and tabu's argmin tie-breaking is sensitive to the
+  engine's ulp-level field drift, so there the contract is determinism
+  plus solution-quality parity rather than bit-identity;
+* greedy 1-opt local search — identical move sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import lfr_graph
+from repro.qubo import SparseQuboModel, build_community_qubo
+from repro.qubo.random_instances import random_qubo
+from repro.solvers.greedy import local_search, local_search_batch
+from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
+from repro.solvers.tabu import TabuSolver
+from repro.utils.rng import ensure_rng
+
+N_SWEEPS = 60
+N_RESTARTS = 2
+N_ITERATIONS = 300
+T_FINAL = 1e-3
+
+
+def reference_simulated_annealing(model, seed):
+    """The pre-delta-state SA loop, verbatim (fresh flip_delta per try)."""
+    rng = ensure_rng(seed)
+    n = model.n_variables
+    x0 = (rng.random(n) < 0.5).astype(np.float64)
+    deltas = np.abs(model.flip_deltas(x0))
+    t_initial = max(float(deltas.mean()) if deltas.size else 1.0, 1e-6)
+    t_initial = max(t_initial, T_FINAL * (1.0 + 1e-12))
+    ratio = (T_FINAL / t_initial) ** (1.0 / max(1, N_SWEEPS - 1))
+    best_x = np.zeros(n, dtype=np.int8)
+    best_energy = model.evaluate(best_x.astype(np.float64))
+    for _ in range(N_RESTARTS):
+        x = (rng.random(n) < 0.5).astype(np.float64)
+        energy = model.evaluate(x)
+        temperature = t_initial
+        for _ in range(N_SWEEPS):
+            flip_order = rng.permutation(n)
+            unit_draws = rng.random(n)
+            for pos, var in enumerate(flip_order):
+                delta = model.flip_delta(x, int(var))
+                accept = delta <= 0.0 or unit_draws[pos] < np.exp(
+                    -delta / temperature
+                )
+                if accept:
+                    x[var] = 1.0 - x[var]
+                    energy += delta
+            if energy < best_energy:
+                best_energy = energy
+                best_x = x.astype(np.int8)
+            temperature *= ratio
+    return best_x, model.evaluate(best_x.astype(np.float64))
+
+
+def reference_tabu(model, seed):
+    """The pre-delta-state tabu loop (fresh flip_deltas per iteration)."""
+    rng = ensure_rng(seed)
+    n = model.n_variables
+    tenure = max(10, n // 10)
+    x = (rng.random(n) < 0.5).astype(np.float64)
+    energy = model.evaluate(x)
+    best_x = x.astype(np.int8)
+    best_energy = energy
+    tabu_until = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, N_ITERATIONS + 1):
+        deltas = model.flip_deltas(x)
+        allowed = tabu_until < iteration
+        aspiring = (energy + deltas) < (best_energy - 1e-12)
+        candidates = allowed | aspiring
+        if not np.any(candidates):
+            candidates = allowed
+        if not np.any(candidates):
+            break
+        masked = np.where(candidates, deltas, np.inf)
+        var = int(np.argmin(masked))
+        x[var] = 1.0 - x[var]
+        energy += float(deltas[var])
+        tabu_until[var] = iteration + tenure
+        if energy < best_energy - 1e-12:
+            best_energy = energy
+            best_x = x.astype(np.int8)
+    return best_x, model.evaluate(best_x.astype(np.float64))
+
+
+def reference_local_search(model, x, max_sweeps=100):
+    """The pre-delta-state 1-opt descent (fresh flip_deltas per sweep)."""
+    current = np.asarray(x, dtype=np.float64).copy()
+    sweeps = 0
+    for sweeps in range(1, max_sweeps + 1):
+        deltas = model.flip_deltas(current)
+        best = int(np.argmin(deltas))
+        if deltas[best] >= -1e-12:
+            sweeps -= 1
+            break
+        current[best] = 1.0 - current[best]
+    return current.astype(np.int8), model.evaluate(current), sweeps
+
+
+@pytest.fixture(scope="module")
+def dense_model():
+    return random_qubo(40, 0.3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def sparse_model():
+    return SparseQuboModel.from_dense(random_qubo(80, 0.06, seed=2))
+
+
+@pytest.fixture(scope="module")
+def factor_model():
+    graph, _ = lfr_graph(50, mixing=0.15, seed=5)
+    return build_community_qubo(graph, 3, backend="sparse").model
+
+
+class TestSimulatedAnnealingEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dense_bit_exact(self, dense_model, seed):
+        ref_x, ref_e = reference_simulated_annealing(dense_model, seed)
+        result = SimulatedAnnealingSolver(
+            n_sweeps=N_SWEEPS, n_restarts=N_RESTARTS, seed=seed
+        ).solve(dense_model)
+        np.testing.assert_array_equal(result.x, ref_x)
+        assert result.energy == ref_e
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sparse_bit_exact(self, sparse_model, seed):
+        ref_x, ref_e = reference_simulated_annealing(sparse_model, seed)
+        result = SimulatedAnnealingSolver(
+            n_sweeps=N_SWEEPS, n_restarts=N_RESTARTS, seed=seed
+        ).solve(sparse_model)
+        np.testing.assert_array_equal(result.x, ref_x)
+        assert result.energy == ref_e
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_factor_backed_bit_exact(self, factor_model, seed):
+        ref_x, ref_e = reference_simulated_annealing(factor_model, seed)
+        result = SimulatedAnnealingSolver(
+            n_sweeps=N_SWEEPS, n_restarts=N_RESTARTS, seed=seed
+        ).solve(factor_model)
+        np.testing.assert_array_equal(result.x, ref_x)
+        assert result.energy == ref_e
+
+
+class TestTabuEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dense_bit_exact(self, dense_model, seed):
+        ref_x, ref_e = reference_tabu(dense_model, seed)
+        result = TabuSolver(n_iterations=N_ITERATIONS, seed=seed).solve(
+            dense_model
+        )
+        np.testing.assert_array_equal(result.x, ref_x)
+        assert result.energy == ref_e
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sparse_bit_exact(self, sparse_model, seed):
+        ref_x, ref_e = reference_tabu(sparse_model, seed)
+        result = TabuSolver(n_iterations=N_ITERATIONS, seed=seed).solve(
+            sparse_model
+        )
+        np.testing.assert_array_equal(result.x, ref_x)
+        assert result.energy == ref_e
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_factor_backed_quality_and_determinism(self, factor_model, seed):
+        """Factor models: deterministic, and quality-par with the old loop.
+
+        Community QUBOs carry exact label-symmetry delta ties; tabu's
+        argmin tie-breaking is sensitive to the engine's ulp-level
+        drift, so bit-identity is not guaranteed here — determinism and
+        matched solution quality are the contract (SA, which needs no
+        argmin, stays bit-exact above).
+        """
+        solver = TabuSolver(n_iterations=N_ITERATIONS, seed=seed)
+        first = solver.solve(factor_model)
+        second = TabuSolver(n_iterations=N_ITERATIONS, seed=seed).solve(
+            factor_model
+        )
+        np.testing.assert_array_equal(first.x, second.x)
+        assert first.energy == second.energy
+        _, ref_e = reference_tabu(factor_model, seed)
+        scale = max(1.0, abs(ref_e))
+        assert first.energy <= ref_e + 0.05 * scale
+
+
+class TestLocalSearchEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_move_sequence(self, dense_model, seed):
+        rng = np.random.default_rng(seed)
+        start = (rng.random(dense_model.n_variables) < 0.5).astype(float)
+        ref = reference_local_search(dense_model, start)
+        new = local_search(dense_model, start)
+        np.testing.assert_array_equal(new[0], ref[0])
+        assert new[1] == ref[1]
+        assert new[2] == ref[2]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sparse_move_sequence(self, sparse_model, seed):
+        rng = np.random.default_rng(seed)
+        start = (rng.random(sparse_model.n_variables) < 0.5).astype(float)
+        ref = reference_local_search(sparse_model, start)
+        new = local_search(sparse_model, start)
+        np.testing.assert_array_equal(new[0], ref[0])
+        assert new[1] == ref[1]
+
+    def test_batch_matches_single_on_sparse(self, factor_model):
+        """The batched engine descends each row like the single one."""
+        rng = np.random.default_rng(21)
+        starts = (
+            rng.random((6, factor_model.n_variables)) < 0.5
+        ).astype(float)
+        batch_x, batch_e = local_search_batch(factor_model, starts)
+        for start, be in zip(starts, batch_e):
+            _, single_e, _ = local_search(factor_model, start)
+            assert be == pytest.approx(single_e, abs=1e-9)

@@ -76,6 +76,12 @@ DOCTEST_MODULES = [
     "repro.qubo.builders",
     "repro.qubo.decode",
     "repro.qubo.sparse",
+    "repro.qubo.delta",
+    "repro.solvers.base",
+    "repro.api.config",
+    "repro.api.registry",
+    "repro.api.runner",
+    "repro.api.spec",
     "repro.hamiltonian.grid",
     "repro.hamiltonian.schedules",
     "repro.community.modularity",

@@ -1,0 +1,47 @@
+"""The README's quickstart code blocks must execute.
+
+Runs the same extraction CI uses (``scripts/run_readme_quickstart.py``)
+inside the tier-1 suite, so a doc edit that breaks the documented
+quickstart fails locally too, not just on the PR.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+README = REPO_ROOT / "README.md"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from run_readme_quickstart import extract_python_blocks, run_blocks  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return extract_python_blocks(README.read_text(encoding="utf-8"))
+
+
+def test_readme_exists():
+    assert README.exists()
+
+
+def test_readme_has_python_blocks(blocks):
+    assert len(blocks) >= 2
+
+
+def test_quickstart_mentions_api(blocks):
+    # The quickstart drives the public facade, not the engine room.
+    assert any("repro.api" in block for block in blocks)
+
+
+def test_readme_blocks_execute(blocks):
+    run_blocks(blocks, source="README.md")
+
+
+def test_readme_links_into_docs():
+    text = README.read_text(encoding="utf-8")
+    for target in ("docs/architecture.md", "docs/spec_format.md"):
+        assert target in text
+        assert (REPO_ROOT / target).exists()
