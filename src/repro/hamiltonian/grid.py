@@ -20,6 +20,21 @@ from repro.exceptions import SimulationError
 from repro.utils.validation import check_integer, check_positive
 
 
+def check_real_dtype(dtype, name: str = "dtype") -> np.dtype:
+    """Validate a real floating dtype (``float32``/``float64``).
+
+    The precision knob of the QHD evolution engine: ``float64`` backs the
+    default ``complex128`` simulation, ``float32`` the bandwidth-halving
+    ``complex64`` mode.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise SimulationError(
+            f"{name} must be float32 or float64, got {resolved}"
+        )
+    return resolved
+
+
 @dataclass(frozen=True)
 class PositionGrid:
     """Uniform interior grid on ``[lower, upper]`` with Dirichlet walls.
@@ -27,6 +42,11 @@ class PositionGrid:
     Grid points are ``x_j = lower + (j + 1) h`` for ``j = 0..n_points-1``
     with spacing ``h = (upper - lower) / (n_points + 1)``; the boundary
     points (where the wavefunction vanishes) are not stored.
+
+    ``dtype`` selects the precision of the stored points (``float64``
+    default; ``float32`` for the complex64 evolution mode — points are
+    computed in float64 and rounded once, so both precisions sample the
+    same nominal positions).
 
     Examples
     --------
@@ -38,6 +58,7 @@ class PositionGrid:
     n_points: int
     lower: float = 0.0
     upper: float = 1.0
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         check_integer(self.n_points, "n_points", minimum=2)
@@ -45,6 +66,7 @@ class PositionGrid:
             raise SimulationError(
                 f"upper ({self.upper}) must exceed lower ({self.lower})"
             )
+        check_real_dtype(self.dtype, "dtype")
 
     @property
     def spacing(self) -> float:
@@ -55,7 +77,8 @@ class PositionGrid:
     def points(self) -> np.ndarray:
         """Interior grid points, shape ``(n_points,)``."""
         j = np.arange(1, self.n_points + 1, dtype=np.float64)
-        return self.lower + j * self.spacing
+        pts = self.lower + j * self.spacing
+        return pts.astype(self.dtype, copy=False)
 
 
 def dirichlet_laplacian(n_points: int, spacing: float) -> np.ndarray:

@@ -4,6 +4,11 @@ All functions treat the *last* axis as the grid axis and broadcast over any
 leading batch dimensions (samples x variables in the QHD solver).  The
 discrete inner product carries the grid-spacing weight ``h`` so that norms
 approximate the continuum ``L^2`` norm.
+
+Every function is precision-generic: complex128 wavefunctions produce
+float64 observables (the historical behaviour, unchanged to the last bit)
+and complex64 wavefunctions keep their float32 precision end to end — the
+path the evolution engine's ``dtype="complex64"`` mode runs on.
 """
 
 from __future__ import annotations
@@ -12,6 +17,21 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _as_real_view(psi: np.ndarray) -> np.ndarray:
+    """Reinterpret complex storage as its real components (no copy)."""
+    if np.iscomplexobj(psi):
+        return psi.view(psi.real.dtype)
+    return psi
+
+
+def _as_float_points(points: np.ndarray) -> np.ndarray:
+    """Coerce grid points to a floating dtype, preserving float32."""
+    pts = np.asarray(points)
+    if pts.dtype.kind != "f":
+        pts = pts.astype(np.float64)
+    return pts
 
 
 def norms(psi: np.ndarray, spacing: float) -> np.ndarray:
@@ -28,7 +48,7 @@ def normalize(psi: np.ndarray, spacing: float) -> np.ndarray:
         If any wavefunction in the batch has (numerically) zero norm or
         non-finite amplitudes — both symptoms of an unstable time step.
     """
-    if not np.all(np.isfinite(psi.view(np.float64))):
+    if not np.all(np.isfinite(_as_real_view(psi))):
         raise SimulationError("wavefunction contains non-finite amplitudes")
     n = norms(psi, spacing)
     if np.any(n < 1e-12):
@@ -50,7 +70,7 @@ def position_expectations(
 ) -> np.ndarray:
     """Expectation ``<x>`` along the grid axis for each batch entry."""
     prob = probability_densities(psi, spacing)
-    return prob @ np.asarray(points, dtype=np.float64)
+    return prob @ _as_float_points(points)
 
 
 def sample_positions(
@@ -70,4 +90,4 @@ def sample_positions(
     draws = rng.random(size=prob.shape[:-1] + (1,))
     indices = np.sum(cdf < draws, axis=-1)
     indices = np.clip(indices, 0, prob.shape[-1] - 1)
-    return np.asarray(points, dtype=np.float64)[indices]
+    return _as_float_points(points)[indices]

@@ -20,14 +20,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.hamiltonian.grid import check_real_dtype
 from repro.utils.validation import check_integer, check_positive
 
 
 class PeriodicGrid:
-    """Uniform periodic grid on ``[0, 1)`` with ``n_points`` samples."""
+    """Uniform periodic grid on ``[0, 1)`` with ``n_points`` samples.
 
-    def __init__(self, n_points: int) -> None:
+    ``dtype`` selects the precision of the stored points (``float64``
+    default, ``float32`` for the complex64 evolution mode).
+    """
+
+    def __init__(self, n_points: int, dtype: str = "float64") -> None:
         self.n_points = check_integer(n_points, "n_points", minimum=2)
+        self.dtype = str(np.dtype(check_real_dtype(dtype, "dtype")))
 
     @property
     def spacing(self) -> float:
@@ -37,7 +43,8 @@ class PeriodicGrid:
     @property
     def points(self) -> np.ndarray:
         """Sample positions ``j * h`` for ``j = 0..n_points-1``."""
-        return np.arange(self.n_points, dtype=np.float64) * self.spacing
+        pts = np.arange(self.n_points, dtype=np.float64) * self.spacing
+        return pts.astype(self.dtype, copy=False)
 
 
 class PeriodicKineticPropagator:
@@ -59,15 +66,21 @@ class PeriodicKineticPropagator:
     True
     """
 
-    def __init__(self, n_points: int, spacing: float) -> None:
+    def __init__(
+        self, n_points: int, spacing: float, dtype: str = "float64"
+    ) -> None:
         check_integer(n_points, "n_points", minimum=2)
         check_positive(spacing, "spacing")
         self.n_points = int(n_points)
         self.spacing = float(spacing)
+        self.dtype = check_real_dtype(dtype, "dtype")
         k = np.fft.fftfreq(self.n_points) * self.n_points
-        self._energies = (
+        energies = (
             2.0 / (self.spacing**2)
         ) * np.sin(np.pi * k / self.n_points) ** 2
+        # Eigenvalues are computed in float64 and rounded once, so the
+        # float32 table agrees with the float64 one to half precision.
+        self._energies = energies.astype(self.dtype, copy=False)
 
     @property
     def energies(self) -> np.ndarray:

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
 
 from repro.exceptions import ScheduleError
 from repro.utils.validation import check_positive
@@ -31,6 +34,30 @@ class Schedule(ABC):
     @abstractmethod
     def potential(self, t: float) -> float:
         """Potential coefficient ``e^{chi(t)}`` at time ``t``."""
+
+    def coefficient_tables(
+        self, times: Iterable[float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Kinetic and potential coefficients at every listed time.
+
+        The whole-run precomputation entry point of the QHD evolution
+        engine: one float64 array per coefficient, evaluated through the
+        scalar :meth:`kinetic` / :meth:`potential` methods so the table
+        entries are bit-identical to per-step scalar calls.
+
+        Examples
+        --------
+        >>> kin, pot = get_schedule("linear", 1.0).coefficient_tables(
+        ...     [0.25, 0.75])
+        >>> kin.shape, pot.shape
+        ((2,), (2,))
+        """
+        ts = [float(t) for t in times]
+        kinetic = np.array([self.kinetic(t) for t in ts], dtype=np.float64)
+        potential = np.array(
+            [self.potential(t) for t in ts], dtype=np.float64
+        )
+        return kinetic, potential
 
     def _check_time(self, t: float) -> float:
         if not 0.0 <= t <= self.t_final * (1.0 + 1e-9):

@@ -7,6 +7,7 @@ refines the measured bitstrings.  :mod:`repro.qhd.exact` holds exact (full
 tensor-grid) simulators used to validate the dynamics on small systems.
 """
 
+from repro.qhd.engine import EvolutionEngine, EvolutionOutcome
 from repro.qhd.solver import QhdSolver
 from repro.qhd.result import QhdDetails, QhdTrace
 from repro.qhd.refinement import refine_candidates, round_positions
@@ -15,6 +16,8 @@ from repro.qhd.spin import SpinQhdSimulator
 
 __all__ = [
     "QhdSolver",
+    "EvolutionEngine",
+    "EvolutionOutcome",
     "QhdDetails",
     "QhdTrace",
     "refine_candidates",

@@ -3,12 +3,16 @@
 QHDOPT projects measured continuous solutions back to the feasible binary
 set and polishes them with a classical optimizer.  Here that means rounding
 positions at 1/2 and running the vectorised 1-opt local search over the
-whole candidate batch.  The descent consumes the incremental
-:class:`~repro.qubo.delta.BatchFlipDeltaState` engine (via
-:func:`repro.solvers.greedy.local_search_batch`): fields are materialised
-once for the whole candidate population and each accepted flip is an
-O(row nnz) update, so refinement no longer pays a full ``(batch, n)``
-mat-vec per sweep on sparse community QUBOs.
+whole candidate batch.  The candidates arrive from the evolution engine's
+single-pass measurement (:meth:`repro.qhd.engine.EvolutionEngine.measure`
+draws every shot from one final density/CDF pass), and the descent
+consumes the incremental :class:`~repro.qubo.delta.BatchFlipDeltaState`
+engine (via :func:`repro.solvers.greedy.local_search_batch`): fields are
+materialised once for the whole candidate population, each sweep's move
+comes from the fused ``best_flips`` argmin over the maintained fields
+(no per-sweep ``(batch, n)`` delta copy), and each accepted flip is an
+O(row nnz) update — refinement never pays a full batch mat-vec per sweep
+on sparse community QUBOs.
 """
 
 from __future__ import annotations

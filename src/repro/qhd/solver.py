@@ -22,6 +22,11 @@ After evolution each sample is measured (position sampling per variable,
 plus the rounded mean as a deterministic candidate), rounded to binary,
 and classically refined by vectorised 1-opt descent — QHDOPT's hybrid
 quantum-classical loop.
+
+The Strang loop itself runs on the preallocated
+:class:`repro.qhd.engine.EvolutionEngine` (phase tables, in-place
+buffers, single-pass observables); seeded complex128 trajectories are
+bit-identical to the historical inline loop.
 """
 
 from __future__ import annotations
@@ -29,21 +34,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import SOLVERS
-from repro.exceptions import SolverError
-from repro.hamiltonian.grid import PositionGrid
-from repro.hamiltonian.observables import (
-    normalize,
-    position_expectations,
-    sample_positions,
-)
-from repro.hamiltonian.periodic import (
-    PeriodicGrid,
-    PeriodicKineticPropagator,
-)
-from repro.hamiltonian.propagator import KineticPropagator, strang_step
+from repro.exceptions import SimulationError, SolverError
+from repro.hamiltonian.observables import normalize
 from repro.hamiltonian.schedules import Schedule, get_schedule
+from repro.qhd.engine import EvolutionEngine, check_complex_dtype
 from repro.qhd.refinement import refine_candidates, round_positions
-from repro.qhd.result import QhdDetails, QhdTrace
+from repro.qhd.result import QhdDetails
 from repro.qubo.model import BaseQubo
 from repro.solvers.base import QuboSolver, SolveResult, SolverStatus
 from repro.utils.rng import SeedLike, ensure_rng
@@ -90,6 +86,14 @@ class QhdSolver(QuboSolver):
     boundary:
         ``"dirichlet"`` (default) uses hard walls and sine-basis matmuls;
         ``"periodic"`` uses the FFT pseudospectral propagator.
+    dtype:
+        Evolution precision: ``"complex128"`` (default; seeded runs are
+        bit-identical to the pre-engine loop) or ``"complex64"`` (half
+        the memory bandwidth at single-precision quality).
+    n_workers:
+        Thread shards for the element-wise evolution stages; any value
+        produces identical results (sampling draws are issued
+        full-batch), so this is purely a throughput knob.
     seed:
         RNG seed for initial wavepackets and measurements.
 
@@ -121,6 +125,8 @@ class QhdSolver(QuboSolver):
         normalize_every: int = 10,
         boundary: str = "dirichlet",
         record_trace: bool = False,
+        dtype: str = "complex128",
+        n_workers: int = 1,
         time_limit: float | None = float("inf"),
         seed: SeedLike = None,
     ) -> None:
@@ -152,6 +158,11 @@ class QhdSolver(QuboSolver):
             )
         self.boundary = boundary
         self.record_trace = bool(record_trace)
+        try:
+            self.dtype = check_complex_dtype(dtype)
+        except SimulationError as err:
+            raise SolverError(str(err)) from None
+        self.n_workers = check_integer(n_workers, "n_workers", minimum=1)
         self.time_limit = check_time_limit(time_limit)
         self._seed = seed
 
@@ -202,72 +213,38 @@ class QhdSolver(QuboSolver):
         watch = Stopwatch().start()
 
         n = model.n_variables
-        if self.boundary == "periodic":
-            grid = PeriodicGrid(self.grid_points)
-            points = grid.points
-            spacing = grid.spacing
-            propagator = PeriodicKineticPropagator(
-                self.grid_points, spacing
-            )
-        else:
-            grid = PositionGrid(self.grid_points)
-            points = grid.points
-            spacing = grid.spacing
-            propagator = KineticPropagator(self.grid_points, spacing)
         energy_scale = self._energy_scale(model)
-
-        psi = self._initial_wavepackets(rng, n, points, spacing)
-        dt = self.t_final / self.n_steps
+        # The engine owns the grid, the propagator, the whole-run phase
+        # tables and every workspace buffer; the stochastic mean-field
+        # dynamics (sample 0 deterministic via expectations, the rest
+        # driven by position measurements) live in engine._observe.
+        engine = EvolutionEngine(
+            model,
+            self.schedule,
+            n_samples=self.n_samples,
+            grid_points=self.grid_points,
+            n_steps=self.n_steps,
+            t_final=self.t_final,
+            boundary=self.boundary,
+            normalize_every=self.normalize_every,
+            energy_scale=energy_scale,
+            dtype=self.dtype,
+            n_workers=self.n_workers,
+        )
+        psi = self._initial_wavepackets(
+            rng, n, engine.points, engine.spacing, engine.complex_dtype
+        )
         budget = TimeBudget(self.time_limit)
+        outcome = engine.evolve(
+            psi, rng, budget=budget, record_trace=self.record_trace
+        )
 
-        trace_times: list[float] = []
-        trace_kin: list[float] = []
-        trace_pot: list[float] = []
-        trace_best: list[float] = []
-        trace_mean: list[float] = []
-
-        steps_done = 0
-        for step in range(self.n_steps):
-            if budget.exhausted():
-                break
-            t_mid = (step + 0.5) * dt
-            kin = self.schedule.kinetic(t_mid)
-            pot = self.schedule.potential(t_mid)
-
-            # Stochastic mean field: each sample's effective field is built
-            # from a position *measurement* of the other variables rather
-            # than their expectations.  Early on, wide wavefunctions make
-            # the draws noisy and decorrelate the samples (each trajectory
-            # explores its own basin); as the descent phase localises the
-            # wavefunctions the noise vanishes and the dynamics become the
-            # deterministic mean field.  Sample 0 always uses expectations,
-            # giving one deterministic trajectory per ensemble.
-            mu = position_expectations(psi, points, spacing)  # (S, n)
-            field_input = sample_positions(psi, points, spacing, seed=rng)
-            field_input[0] = mu[0]
-            fields = model.local_fields_batch(field_input) / energy_scale
-            potential = fields[..., None] * points  # (S, n, grid)
-            psi = strang_step(psi, potential, propagator, dt, kin, pot)
-
-            if (step + 1) % self.normalize_every == 0:
-                psi = normalize(psi, spacing)
-
-            if self.record_trace:
-                relaxed = model.evaluate_batch(mu)
-                trace_times.append(t_mid)
-                trace_kin.append(kin)
-                trace_pot.append(pot)
-                trace_best.append(float(relaxed.min()))
-                trace_mean.append(float(relaxed.mean()))
-            steps_done = step + 1
-
-        psi = normalize(psi, spacing)
-        mu = position_expectations(psi, points, spacing)
-
+        # Single-pass measurement: one final density/cumulative
+        # distribution feeds the expectations and all `shots` draws.
+        mu, measured = engine.measure(rng, self.shots)
         candidates = [round_positions(mu)]
-        for _ in range(self.shots):
-            measured = sample_positions(psi, points, spacing, seed=rng)
-            candidates.append(round_positions(measured))
+        if self.shots:
+            candidates.append(round_positions(measured.reshape(-1, n)))
         stacked = np.concatenate(candidates, axis=0)
 
         refine_sweeps = self.refine_sweeps
@@ -283,24 +260,19 @@ class QhdSolver(QuboSolver):
             energies = model.evaluate_batch(unique)
         watch.stop()
 
-        trace = None
-        if self.record_trace:
-            trace = QhdTrace(
-                times=np.asarray(trace_times),
-                kinetic_coefficients=np.asarray(trace_kin),
-                potential_coefficients=np.asarray(trace_pot),
-                best_relaxed_energy=np.asarray(trace_best),
-                mean_relaxed_energy=np.asarray(trace_mean),
-            )
         details = QhdDetails(
             samples=samples,
             energies=energies,
             mean_positions=mu,
-            trace=trace,
+            trace=outcome.trace,
             refinement_sweeps=refine_sweeps,
-            metadata={"energy_scale": energy_scale},
+            metadata={
+                "energy_scale": energy_scale,
+                "dtype": self.dtype,
+                "n_workers": self.n_workers,
+            },
         )
-        return details, watch.elapsed, steps_done
+        return details, watch.elapsed, outcome.steps_done
 
     # ------------------------------------------------------------------
     # Helpers
@@ -330,16 +302,18 @@ class QhdSolver(QuboSolver):
         n_variables: int,
         points: np.ndarray,
         spacing: float,
+        dtype: np.dtype | type = np.complex128,
     ) -> np.ndarray:
         """Randomly centred Gaussian wavepackets, one per (sample, var).
 
         Sample 0 starts every variable in the box ground state (the sine
         mode) for a deterministic "unbiased" member; the remaining samples
         get random centres and momenta so the mean-field ensemble explores
-        distinct basins.
+        distinct basins.  The RNG draws stay float64 for every ``dtype``,
+        so complex64 runs consume the identical stream.
         """
         shape = (self.n_samples, n_variables, len(points))
-        psi = np.empty(shape, dtype=np.complex128)
+        psi = np.empty(shape, dtype=dtype)
         if self.boundary == "periodic":
             psi[0] = 1.0  # uniform state: the periodic kinetic ground state
         else:

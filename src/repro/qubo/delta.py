@@ -36,6 +36,14 @@ population, one independent trajectory per row — the shape the QHD
 refinement pass (:func:`repro.solvers.greedy.local_search_batch`)
 descends on.
 
+Two conveniences round the engine off: the fused argmins
+(:meth:`FlipDeltaState.best_flip` / :meth:`BatchFlipDeltaState.best_flips`)
+evaluate the best single flip directly off the maintained fields into a
+state-owned scratch buffer — the tabu/greedy loops no longer allocate an
+O(n) ``deltas()`` copy per iteration — and an optional ``refresh_every``
+cadence re-materialises the fields every that many accepted flips, so
+very long runs can bound their floating-point drift.
+
 Solvers reach this engine through
 :func:`repro.solvers.base.flip_state`; see ``docs/architecture.md`` for
 the cost model.
@@ -145,6 +153,12 @@ class FlipDeltaState:
         Dense or sparse :class:`repro.qubo.model.BaseQubo`.
     x:
         Binary starting assignment, length ``n_variables``; copied.
+    refresh_every:
+        Optional cadence (accepted flips) at which the state
+        re-materialises its fields and energy from the model, bounding
+        the floating-point drift of very long runs to at most that many
+        incremental updates.  ``None`` (default) never refreshes — the
+        historical behaviour, and the bit-exact one.
 
     Notes
     -----
@@ -153,7 +167,8 @@ class FlipDeltaState:
     afterwards every accepted flip is O(coupling-row nnz + factor-row
     nnz).  The maintained fields drift from a fresh recomputation only
     at floating-point rounding level; :meth:`refresh` resynchronises
-    them exactly when a caller wants to pay the mat-vec.
+    them exactly when a caller wants to pay the mat-vec (or pass
+    ``refresh_every`` to do so on a fixed cadence).
 
     Examples
     --------
@@ -169,7 +184,9 @@ class FlipDeltaState:
     True
     """
 
-    def __init__(self, model: BaseQubo, x) -> None:
+    def __init__(
+        self, model: BaseQubo, x, refresh_every: int | None = None
+    ) -> None:
         if not isinstance(model, BaseQubo):
             raise QuboError(
                 f"model must be a BaseQubo, got {type(model).__name__}"
@@ -179,8 +196,21 @@ class FlipDeltaState:
             raise QuboError(
                 f"x must have shape ({model.n_variables},), got {vec.shape}"
             )
+        if refresh_every is not None and (
+            not isinstance(refresh_every, (int, np.integer))
+            or refresh_every < 1
+        ):
+            raise QuboError(
+                f"refresh_every must be a positive integer or None, "
+                f"got {refresh_every!r}"
+            )
         self._model = model
         self._x = vec
+        self._refresh_every = (
+            None if refresh_every is None else int(refresh_every)
+        )
+        self._scratch = np.empty_like(vec)
+        self._mask_scratch: np.ndarray | None = None
         _bind_model_slots(self, model)
         self.refresh()
         self._n_flips = 0
@@ -220,6 +250,11 @@ class FlipDeltaState:
         """Accepted flips applied since construction."""
         return self._n_flips
 
+    @property
+    def refresh_every(self) -> int | None:
+        """Accepted-flip cadence of automatic refreshes (None = never)."""
+        return self._refresh_every
+
     def delta(self, index: int) -> float:
         """Energy change of flipping bit ``index`` — an O(1) read."""
         i = int(index)
@@ -228,6 +263,49 @@ class FlipDeltaState:
     def deltas(self) -> np.ndarray:
         """Energy change of flipping each bit (fresh array, O(n))."""
         return (1.0 - 2.0 * self._x) * self._fields
+
+    def best_flip(
+        self, where: np.ndarray | None = None
+    ) -> tuple[int, float]:
+        """The (index, delta) of the best single flip — fused argmin.
+
+        Computes the argmin of the flip deltas directly off the
+        maintained fields into a state-owned scratch buffer: no fresh
+        O(n) array per call, unlike ``np.argmin(state.deltas())``.
+        Ties break to the lowest index, exactly like the copying path.
+
+        Parameters
+        ----------
+        where:
+            Optional boolean mask; only ``True`` positions compete
+            (the tabu "allowed moves" restriction).  Must contain at
+            least one ``True``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.qubo import QuboModel
+        >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]),
+        ...                   [-1.0, -3.0])
+        >>> state = FlipDeltaState(model, np.zeros(2))
+        >>> state.best_flip()
+        (1, -3.0)
+        """
+        scratch = self._scratch
+        np.multiply(self._x, -2.0, out=scratch)
+        np.add(scratch, 1.0, out=scratch)
+        np.multiply(scratch, self._fields, out=scratch)
+        if where is not None:
+            if self._mask_scratch is None:
+                self._mask_scratch = np.empty(scratch.shape, dtype=bool)
+            np.logical_not(where, out=self._mask_scratch)
+            if self._mask_scratch.all():
+                raise QuboError(
+                    "best_flip requires at least one allowed position"
+                )
+            scratch[self._mask_scratch] = np.inf
+        index = int(np.argmin(scratch))
+        return index, float(scratch[index])
 
     # ------------------------------------------------------------------
     # Mutation
@@ -270,6 +348,11 @@ class FlipDeltaState:
         self._x[i] = 1.0 - self._x[i]
         self._energy += delta
         self._n_flips += 1
+        if (
+            self._refresh_every is not None
+            and self._n_flips % self._refresh_every == 0
+        ):
+            self.refresh()
         return delta
 
     def refresh(self) -> None:
@@ -341,6 +424,7 @@ class BatchFlipDeltaState:
         self._energies = np.asarray(
             model.evaluate_batch(batch), dtype=np.float64
         ).copy()
+        self._scratch = np.empty_like(batch)
         _bind_model_slots(self, model)
 
     @property
@@ -360,6 +444,35 @@ class BatchFlipDeltaState:
     def deltas(self) -> np.ndarray:
         """Flip deltas for every (trajectory, bit), shape ``(batch, n)``."""
         return (1.0 - 2.0 * self._x) * self._fields
+
+    def best_flips(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-trajectory (indices, deltas) of the best single flips.
+
+        The batched fused argmin: the deltas are evaluated into a
+        state-owned ``(batch, n)`` scratch buffer, so no fresh
+        ``deltas()`` copy is allocated per sweep.  Ties break to the
+        lowest index per row, exactly like ``np.argmin(state.deltas(),
+        axis=1)``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.qubo import QuboModel
+        >>> from repro.qubo.delta import BatchFlipDeltaState
+        >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]),
+        ...                   [-1.0, -3.0])
+        >>> state = BatchFlipDeltaState(model, np.zeros((2, 2)))
+        >>> cols, deltas = state.best_flips()
+        >>> cols.tolist(), deltas.tolist()
+        ([1, 1], [-3.0, -3.0])
+        """
+        scratch = self._scratch
+        np.multiply(self._x, -2.0, out=scratch)
+        np.add(scratch, 1.0, out=scratch)
+        np.multiply(scratch, self._fields, out=scratch)
+        cols = np.argmin(scratch, axis=1)
+        rows = np.arange(scratch.shape[0])
+        return cols, scratch[rows, cols]
 
     def flip(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Accept one flip per listed trajectory; returns their deltas.

@@ -113,7 +113,9 @@ class SolveResult:
         )
 
 
-def flip_state(model: BaseQubo, x: np.ndarray) -> FlipDeltaState:
+def flip_state(
+    model: BaseQubo, x: np.ndarray, refresh_every: int | None = None
+) -> FlipDeltaState:
     """Materialise the incremental flip-delta state for one trajectory.
 
     The shared entry point of every single-flip sweep loop (simulated
@@ -121,7 +123,9 @@ def flip_state(model: BaseQubo, x: np.ndarray) -> FlipDeltaState:
     :class:`~repro.qubo.delta.FlipDeltaState` materialisation per
     restart, then O(coupling-row nnz) per accepted flip and O(1) per
     queried delta — instead of an O(nnz) ``model.flip_deltas`` mat-vec
-    per iteration.
+    per iteration.  ``refresh_every`` bounds the float drift of very
+    long runs by re-materialising the fields on that accepted-flip
+    cadence (``None`` = never, the bit-exact default).
 
     Examples
     --------
@@ -129,10 +133,10 @@ def flip_state(model: BaseQubo, x: np.ndarray) -> FlipDeltaState:
     >>> from repro.qubo import QuboModel
     >>> model = QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
     >>> state = flip_state(model, np.zeros(2))
-    >>> state.flip(int(np.argmin(state.deltas())))
+    >>> state.flip(state.best_flip()[0])
     -1.0
     """
-    return FlipDeltaState(model, x)
+    return FlipDeltaState(model, x, refresh_every=refresh_every)
 
 
 def batch_flip_state(model: BaseQubo, xs: np.ndarray) -> BatchFlipDeltaState:

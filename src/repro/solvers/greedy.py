@@ -32,14 +32,14 @@ def greedy_construct(model: QuboModel) -> np.ndarray:
     energy delta until no flip improves — a deterministic construction
     that lands in a 1-opt local minimum.  Deltas are maintained
     incrementally (one materialisation, O(row nnz) per accepted flip),
-    so each step costs O(n) for the argmin rather than a full mat-vec.
+    so each step costs one fused ``best_flip`` argmin over the
+    maintained fields — no per-step ``deltas()`` copy, no mat-vec.
     """
     n = model.n_variables
     state = flip_state(model, np.zeros(n, dtype=np.float64))
     for _ in range(2 * n):
-        deltas = state.deltas()
-        best = int(np.argmin(deltas))
-        if deltas[best] >= -1e-12:
+        best, delta = state.best_flip()
+        if delta >= -1e-12:
             break
         state.flip(best)
     return state.x.astype(np.int8)
@@ -55,8 +55,10 @@ def local_search(
     Each sweep flips the single best-improving bit until a local
     minimum.  The flip deltas come from an incrementally maintained
     :class:`~repro.qubo.delta.FlipDeltaState` (one materialisation at
-    ``x``, O(row nnz) per accepted flip), so a sweep costs O(n) for the
-    argmin instead of a full ``model.flip_deltas`` mat-vec.
+    ``x``, O(row nnz) per accepted flip); each sweep runs the fused
+    ``best_flip`` argmin over the maintained fields instead of
+    allocating a fresh delta array or paying a ``model.flip_deltas``
+    mat-vec.
 
     Returns
     -------
@@ -67,9 +69,8 @@ def local_search(
     state = flip_state(model, np.asarray(x, dtype=np.float64))
     sweeps = 0
     for sweeps in range(1, max_sweeps + 1):
-        deltas = state.deltas()
-        best = int(np.argmin(deltas))
-        if deltas[best] >= -1e-12:
+        best, delta = state.best_flip()
+        if delta >= -1e-12:
             sweeps -= 1
             break
         state.flip(best)
@@ -84,12 +85,13 @@ def local_search_batch(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorised 1-opt descent on a whole batch of assignments at once.
 
-    Every sweep flips each unconverged row's best-improving bit, reading
-    the deltas from an incrementally maintained
+    Every sweep flips each unconverged row's best-improving bit, found
+    by the fused ``best_flips`` argmin of an incrementally maintained
     :class:`~repro.qubo.delta.BatchFlipDeltaState` — one field
-    materialisation up front, then O(row nnz) per accepted flip instead
-    of a full ``(batch, n)`` mat-vec per sweep.  Used by the QHD solver
-    to refine all measurement samples simultaneously.
+    materialisation up front, no ``(batch, n)`` delta copy per sweep,
+    then O(row nnz) per accepted flip instead of a full batch mat-vec.
+    Used by the QHD solver to refine all measurement samples
+    simultaneously.
 
     Returns
     -------
@@ -101,13 +103,12 @@ def local_search_batch(
         raise ValueError(f"xs must be 2-D, got shape {batch.shape}")
     state = batch_flip_state(model, batch)
     active = np.ones(len(batch), dtype=bool)
+    rows = np.arange(len(batch))
     for _ in range(max_sweeps):
         if not np.any(active):
             break
-        deltas = state.deltas()
-        best = np.argmin(deltas, axis=1)
-        rows = np.arange(len(batch))
-        improving = deltas[rows, best] < -1e-12
+        best, best_deltas = state.best_flips()
+        improving = best_deltas < -1e-12
         improving &= active
         if not np.any(improving):
             break

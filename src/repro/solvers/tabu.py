@@ -34,6 +34,11 @@ class TabuSolver(QuboSolver):
     tenure:
         Iterations a flipped variable stays tabu; ``None`` selects
         ``max(10, n // 10)`` at solve time.
+    refresh_every:
+        Optional accepted-flip cadence at which the flip-delta state
+        re-materialises its fields from the model, bounding float drift
+        on very long runs.  ``None`` (default) never refreshes — the
+        bit-exact historical behaviour.
     time_limit:
         Optional wall-clock budget.
     """
@@ -44,6 +49,7 @@ class TabuSolver(QuboSolver):
         self,
         n_iterations: int = 2000,
         tenure: int | None = None,
+        refresh_every: int | None = None,
         time_limit: float | None = float("inf"),
         seed: SeedLike = None,
     ) -> None:
@@ -52,6 +58,11 @@ class TabuSolver(QuboSolver):
         )
         self.tenure = (
             None if tenure is None else check_integer(tenure, "tenure", minimum=1)
+        )
+        self.refresh_every = (
+            None
+            if refresh_every is None
+            else check_integer(refresh_every, "refresh_every", minimum=1)
         )
         self.time_limit = check_time_limit(time_limit)
         self._seed = seed
@@ -66,10 +77,11 @@ class TabuSolver(QuboSolver):
 
         x = (rng.random(n) < 0.5).astype(np.float64)
         # One full delta materialisation per trajectory; each iteration
-        # below reads the maintained O(n) delta array and each accepted
-        # flip applies an O(row nnz) incremental update instead of a
-        # fresh model.flip_deltas mat-vec.
-        state = flip_state(model, x)
+        # below runs the fused argmin over the maintained fields (no
+        # O(n) deltas() copy) and each accepted flip applies an
+        # O(row nnz) incremental update instead of a fresh
+        # model.flip_deltas mat-vec.
+        state = flip_state(model, x, refresh_every=self.refresh_every)
         energy = state.energy
         best_x = x.astype(np.int8)
         best_energy = energy
@@ -78,17 +90,19 @@ class TabuSolver(QuboSolver):
 
         iteration = 0
         for iteration in range(1, self.n_iterations + 1):
-            deltas = state.deltas()
-            # Mask tabu moves unless they aspire to a new global best.
-            allowed = tabu_until < iteration
-            aspiring = (energy + deltas) < (best_energy - 1e-12)
-            candidates = allowed | aspiring
-            if not np.any(candidates):
-                candidates = allowed
-            if not np.any(candidates):
-                break  # everything tabu and nothing aspires: stuck
-            masked = np.where(candidates, deltas, np.inf)
-            var = int(np.argmin(masked))
+            # Fused aspiration: if the global best flip would beat the
+            # incumbent it is aspiring (hence a candidate) and, being
+            # the global minimum, it is also the masked argmin — no
+            # tabu mask needs to be applied.  Otherwise *no* flip
+            # aspires (every delta is >= the global minimum), so the
+            # candidate set is exactly the non-tabu moves.  Ties break
+            # to the lowest index on both paths, like the copying loop.
+            var, delta = state.best_flip()
+            if not (energy + delta) < (best_energy - 1e-12):
+                allowed = tabu_until < iteration
+                if not np.any(allowed):
+                    break  # everything tabu and nothing aspires: stuck
+                var, delta = state.best_flip(where=allowed)
             state.flip(var)
             energy = state.energy
             tabu_until[var] = iteration + tenure

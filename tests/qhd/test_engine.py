@@ -1,0 +1,339 @@
+"""Seeded equivalence of the QHD evolution engine vs the old inline loop.
+
+PR-3 style contract tests: the pre-engine ``QhdSolver._run`` is pinned
+below as a literal reference implementation (per-step schedule calls,
+``position_expectations`` + ``sample_positions`` double density passes,
+``strang_step`` allocations, sequential ``shots`` measurement loop) and
+the engine-driven solver must reproduce it **bit-for-bit** in complex128
+— dense and sparse models, Dirichlet and periodic boundaries, with and
+without tracing, for every ``n_workers``.  The ``complex64`` mode is
+quality-gated by tolerance instead, and the new knobs round-trip through
+the registry/config machinery like every other knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SOLVERS
+from repro.exceptions import SolverError
+from repro.graphs.lfr import lfr_graph
+from repro.hamiltonian.grid import PositionGrid
+from repro.hamiltonian.observables import (
+    normalize,
+    position_expectations,
+    sample_positions,
+)
+from repro.hamiltonian.periodic import (
+    PeriodicGrid,
+    PeriodicKineticPropagator,
+)
+from repro.hamiltonian.propagator import KineticPropagator, strang_step
+from repro.qhd.engine import EvolutionEngine
+from repro.qhd.refinement import refine_candidates, round_positions
+from repro.qhd.solver import QhdSolver
+from repro.qubo import build_community_qubo
+from repro.qubo.random_instances import random_qubo
+from repro.utils.rng import ensure_rng
+
+
+def reference_qhd_run(solver: QhdSolver, model):
+    """The pre-engine ``QhdSolver._run`` evolution, verbatim.
+
+    Returns ``(samples, energies, mean_positions, trace_arrays)`` with
+    ``trace_arrays`` a tuple of the five trace arrays (or ``None``).
+    """
+    rng = ensure_rng(solver._seed)
+    n = model.n_variables
+    if solver.boundary == "periodic":
+        grid = PeriodicGrid(solver.grid_points)
+        points = grid.points
+        spacing = grid.spacing
+        propagator = PeriodicKineticPropagator(solver.grid_points, spacing)
+    else:
+        grid = PositionGrid(solver.grid_points)
+        points = grid.points
+        spacing = grid.spacing
+        propagator = KineticPropagator(solver.grid_points, spacing)
+    energy_scale = solver._energy_scale(model)
+
+    psi = solver._initial_wavepackets(rng, n, points, spacing)
+    dt = solver.t_final / solver.n_steps
+
+    trace_times, trace_kin, trace_pot = [], [], []
+    trace_best, trace_mean = [], []
+    for step in range(solver.n_steps):
+        t_mid = (step + 0.5) * dt
+        kin = solver.schedule.kinetic(t_mid)
+        pot = solver.schedule.potential(t_mid)
+
+        mu = position_expectations(psi, points, spacing)
+        field_input = sample_positions(psi, points, spacing, seed=rng)
+        field_input[0] = mu[0]
+        fields = model.local_fields_batch(field_input) / energy_scale
+        potential = fields[..., None] * points
+        psi = strang_step(psi, potential, propagator, dt, kin, pot)
+
+        if (step + 1) % solver.normalize_every == 0:
+            psi = normalize(psi, spacing)
+
+        if solver.record_trace:
+            relaxed = model.evaluate_batch(mu)
+            trace_times.append(t_mid)
+            trace_kin.append(kin)
+            trace_pot.append(pot)
+            trace_best.append(float(relaxed.min()))
+            trace_mean.append(float(relaxed.mean()))
+
+    psi = normalize(psi, spacing)
+    mu = position_expectations(psi, points, spacing)
+
+    candidates = [round_positions(mu)]
+    for _ in range(solver.shots):
+        measured = sample_positions(psi, points, spacing, seed=rng)
+        candidates.append(round_positions(measured))
+    stacked = np.concatenate(candidates, axis=0)
+
+    refine_sweeps = solver.refine_sweeps
+    if refine_sweeps is None:
+        refine_sweeps = 2 * model.n_variables + 100
+    if refine_sweeps > 0:
+        samples, energies = refine_candidates(
+            model, stacked, max_sweeps=refine_sweeps
+        )
+    else:
+        unique = np.unique(stacked, axis=0)
+        samples = unique.astype(np.int8)
+        energies = model.evaluate_batch(unique)
+
+    trace = None
+    if solver.record_trace:
+        trace = (
+            np.asarray(trace_times),
+            np.asarray(trace_kin),
+            np.asarray(trace_pot),
+            np.asarray(trace_best),
+            np.asarray(trace_mean),
+        )
+    return samples, energies, mu, trace
+
+
+def make_solver(**overrides):
+    defaults = dict(n_samples=6, n_steps=33, grid_points=12, seed=7)
+    defaults.update(overrides)
+    return QhdSolver(**defaults)
+
+
+@pytest.fixture(scope="module")
+def dense_model():
+    return random_qubo(14, 0.35, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sparse_model():
+    graph, _ = lfr_graph(40, mixing=0.15, seed=5)
+    return build_community_qubo(graph, 3, backend="sparse").model
+
+
+def assert_bit_exact(solver_kwargs, model):
+    solver = make_solver(**solver_kwargs)
+    ref_samples, ref_energies, ref_mu, ref_trace = reference_qhd_run(
+        make_solver(**solver_kwargs), model
+    )
+    details = solver.solve_detailed(model)
+    np.testing.assert_array_equal(details.samples, ref_samples)
+    np.testing.assert_array_equal(details.energies, ref_energies)
+    np.testing.assert_array_equal(details.mean_positions, ref_mu)
+    if ref_trace is None:
+        assert details.trace is None
+    else:
+        fields = (
+            details.trace.times,
+            details.trace.kinetic_coefficients,
+            details.trace.potential_coefficients,
+            details.trace.best_relaxed_energy,
+            details.trace.mean_relaxed_energy,
+        )
+        for got, expected in zip(fields, ref_trace):
+            np.testing.assert_array_equal(got, expected)
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_dirichlet(self, dense_model, seed):
+        assert_bit_exact({"seed": seed}, dense_model)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_periodic(self, dense_model, seed):
+        assert_bit_exact(
+            {"seed": seed, "boundary": "periodic"}, dense_model
+        )
+
+    def test_sparse_dirichlet(self, sparse_model):
+        assert_bit_exact({}, sparse_model)
+
+    def test_sparse_periodic(self, sparse_model):
+        assert_bit_exact({"boundary": "periodic"}, sparse_model)
+
+    def test_dense_with_trace(self, dense_model):
+        assert_bit_exact({"record_trace": True}, dense_model)
+
+    def test_sparse_with_trace_periodic(self, sparse_model):
+        assert_bit_exact(
+            {"record_trace": True, "boundary": "periodic"}, sparse_model
+        )
+
+    def test_zero_shots(self, dense_model):
+        assert_bit_exact({"shots": 0}, dense_model)
+
+    def test_many_shots(self, dense_model):
+        """Vectorised measurement consumes the identical RNG stream."""
+        assert_bit_exact({"shots": 7}, dense_model)
+
+    def test_no_refinement(self, dense_model):
+        assert_bit_exact({"refine_sweeps": 0}, dense_model)
+
+    def test_alternative_schedules(self, dense_model):
+        assert_bit_exact({"schedule": "linear"}, dense_model)
+        assert_bit_exact({"schedule": "exponential"}, dense_model)
+
+
+class TestWorkerDeterminism:
+    @pytest.mark.parametrize("n_workers", [2, 3, 5])
+    def test_workers_match_serial(self, dense_model, n_workers):
+        base = make_solver(seed=2).solve_detailed(dense_model)
+        sharded = make_solver(
+            seed=2, n_workers=n_workers
+        ).solve_detailed(dense_model)
+        np.testing.assert_array_equal(base.samples, sharded.samples)
+        np.testing.assert_array_equal(base.energies, sharded.energies)
+        np.testing.assert_array_equal(
+            base.mean_positions, sharded.mean_positions
+        )
+
+    def test_workers_match_reference(self, dense_model):
+        """Threaded runs are bit-exact vs the old loop too."""
+        assert_bit_exact({"n_workers": 4}, dense_model)
+
+    def test_more_workers_than_samples(self, dense_model):
+        base = make_solver(seed=1, n_samples=2).solve_detailed(dense_model)
+        sharded = make_solver(
+            seed=1, n_samples=2, n_workers=8
+        ).solve_detailed(dense_model)
+        np.testing.assert_array_equal(
+            base.mean_positions, sharded.mean_positions
+        )
+
+
+class TestComplex64Mode:
+    def test_solves_small_optimum(self, small_qubo):
+        result = make_solver(dtype="complex64").solve(small_qubo)
+        assert result.energy == -1.0
+
+    def test_close_to_complex128(self, dense_model):
+        """Single precision tracks the double-precision trajectory."""
+        full = make_solver(seed=4).solve_detailed(dense_model)
+        half = make_solver(seed=4, dtype="complex64").solve_detailed(
+            dense_model
+        )
+        assert half.mean_positions.dtype == np.float32
+        np.testing.assert_allclose(
+            half.mean_positions, full.mean_positions, atol=5e-3
+        )
+
+    def test_quality_parity(self, dense_model):
+        """Refined energies match double precision on small instances."""
+        full = make_solver(seed=9).solve(dense_model)
+        half = make_solver(seed=9, dtype="complex64").solve(dense_model)
+        scale = max(1.0, abs(full.energy))
+        assert half.energy <= full.energy + 0.05 * scale
+
+    def test_periodic_complex64(self, dense_model):
+        full = make_solver(seed=3, boundary="periodic").solve_detailed(
+            dense_model
+        )
+        half = make_solver(
+            seed=3, boundary="periodic", dtype="complex64"
+        ).solve_detailed(dense_model)
+        np.testing.assert_allclose(
+            half.mean_positions, full.mean_positions, atol=5e-3
+        )
+
+    def test_workers_deterministic_in_complex64(self, dense_model):
+        a = make_solver(seed=5, dtype="complex64").solve_detailed(
+            dense_model
+        )
+        b = make_solver(
+            seed=5, dtype="complex64", n_workers=3
+        ).solve_detailed(dense_model)
+        np.testing.assert_array_equal(a.mean_positions, b.mean_positions)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestEngineInternals:
+    def test_phase_table_matches_per_step_exponentials(self, dense_model):
+        solver = make_solver()
+        engine = EvolutionEngine(
+            dense_model,
+            solver.schedule,
+            n_samples=2,
+            grid_points=8,
+            n_steps=10,
+            t_final=1.0,
+        )
+        prop = KineticPropagator(8, PositionGrid(8).spacing)
+        dt = 1.0 / 10
+        for step in (0, 4, 9):
+            kin = solver.schedule.kinetic((step + 0.5) * dt)
+            expected = np.exp(-1j * kin * dt * prop.energies)
+            np.testing.assert_array_equal(
+                engine.kinetic_phase_table[step], expected
+            )
+
+    def test_measure_requires_evolve(self, dense_model):
+        solver = make_solver()
+        engine = EvolutionEngine(
+            dense_model,
+            solver.schedule,
+            n_samples=2,
+            grid_points=8,
+            n_steps=5,
+            t_final=1.0,
+        )
+        with pytest.raises(Exception):
+            engine.measure(ensure_rng(0), 2)
+
+    def test_metadata_reports_knobs(self, small_qubo):
+        details = make_solver(
+            dtype="complex64", n_workers=2
+        ).solve_detailed(small_qubo)
+        assert details.metadata["dtype"] == "complex64"
+        assert details.metadata["n_workers"] == 2
+
+
+class TestConfigRoundTrips:
+    def test_solver_roundtrip_with_new_knobs(self):
+        spec = {
+            "n_samples": 4,
+            "n_steps": 10,
+            "dtype": "complex64",
+            "n_workers": 3,
+            "seed": 1,
+        }
+        solver = SOLVERS.create("qhd", **spec)
+        config = solver.to_config()
+        assert config["dtype"] == "complex64"
+        assert config["n_workers"] == 3
+        rebuilt = SOLVERS.get("qhd").from_config(config)
+        assert rebuilt.to_config() == config
+
+    def test_defaults_roundtrip(self):
+        config = QhdSolver().to_config()
+        assert config["dtype"] == "complex128"
+        assert config["n_workers"] == 1
+        assert QhdSolver.from_config(config).to_config() == config
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(SolverError):
+            QhdSolver(dtype="float64")
+        with pytest.raises(ValueError):
+            QhdSolver(n_workers=0)

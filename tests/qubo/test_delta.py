@@ -220,3 +220,157 @@ class TestFactorTermsAccessor:
         assert diag.shape == (model.n_variables,)
         # The CSC copy is built lazily once and shared across calls.
         assert model.factor_terms()[2] is f_csc
+
+
+class TestBestFlip:
+    """The fused argmin must equal the copying ``deltas()`` path."""
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_copying_argmin_along_trajectory(self, factory, seed):
+        model = factory(seed)
+        rng = np.random.default_rng(300 + seed)
+        n = model.n_variables
+        state = FlipDeltaState(
+            model, (rng.random(n) < 0.5).astype(np.float64)
+        )
+        for _ in range(60):
+            deltas = state.deltas()
+            expected_index = int(np.argmin(deltas))
+            index, delta = state.best_flip()
+            assert index == expected_index
+            assert delta == deltas[expected_index]
+            state.flip(int(rng.integers(n)))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_masked_matches_np_where_path(self, seed):
+        model = _dense_model(seed)
+        rng = np.random.default_rng(400 + seed)
+        n = model.n_variables
+        state = FlipDeltaState(
+            model, (rng.random(n) < 0.5).astype(np.float64)
+        )
+        for _ in range(40):
+            allowed = rng.random(n) < 0.6
+            if not allowed.any():
+                allowed[int(rng.integers(n))] = True
+            masked = np.where(allowed, state.deltas(), np.inf)
+            expected_index = int(np.argmin(masked))
+            index, delta = state.best_flip(where=allowed)
+            assert index == expected_index
+            assert delta == masked[expected_index]
+            state.flip(int(rng.integers(n)))
+
+    def test_tie_breaks_to_lowest_index(self):
+        # Symmetric instance: both unit flips carry the same delta.
+        model = QuboModel(np.zeros((3, 3)), [-2.0, -2.0, -2.0])
+        state = FlipDeltaState(model, np.zeros(3))
+        assert state.best_flip() == (0, -2.0)
+
+    def test_empty_mask_rejected(self):
+        model = _dense_model(0)
+        state = FlipDeltaState(model, np.zeros(model.n_variables))
+        with pytest.raises(QuboError, match="allowed"):
+            state.best_flip(where=np.zeros(model.n_variables, dtype=bool))
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    def test_batch_matches_copying_argmin(self, factory):
+        model = factory(1)
+        rng = np.random.default_rng(77)
+        n = model.n_variables
+        xs = (rng.random((5, n)) < 0.5).astype(np.float64)
+        state = BatchFlipDeltaState(model, xs)
+        for _ in range(20):
+            deltas = state.deltas()
+            expected_cols = np.argmin(deltas, axis=1)
+            rows = np.arange(len(xs))
+            cols, best = state.best_flips()
+            np.testing.assert_array_equal(cols, expected_cols)
+            np.testing.assert_array_equal(
+                best, deltas[rows, expected_cols]
+            )
+            state.flip(rows, rng.integers(0, n, size=len(xs)))
+
+    def test_read_only_and_idempotent(self):
+        model = _dense_model(2)
+        state = FlipDeltaState(model, np.zeros(model.n_variables))
+        first = state.best_flip()
+        # Plain scalars out of the state-owned scratch: repeated reads
+        # are idempotent and never mutate the trajectory.
+        assert isinstance(first[0], int) and isinstance(first[1], float)
+        assert state.best_flip() == first
+        assert state.n_flips == 0
+
+
+class TestRefreshCadence:
+    """Optional ``refresh_every`` bounds drift without changing results."""
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    @pytest.mark.parametrize("cadence", [1, 7, 50])
+    def test_trajectory_invariant_under_refresh(self, factory, cadence):
+        """Same flips, same final assignment; fields exact at refresh."""
+        model = factory(0)
+        rng = np.random.default_rng(500)
+        n = model.n_variables
+        x0 = (rng.random(n) < 0.5).astype(np.float64)
+        flips = rng.integers(0, n, size=120)
+        plain = FlipDeltaState(model, x0)
+        refreshing = FlipDeltaState(model, x0, refresh_every=cadence)
+        assert refreshing.refresh_every == cadence
+        for var in flips:
+            plain.flip(int(var))
+            refreshing.flip(int(var))
+        np.testing.assert_array_equal(plain.x, refreshing.x)
+        # Post-refresh fields are *exactly* the model's recomputation.
+        if 120 % cadence == 0:
+            np.testing.assert_array_equal(
+                refreshing.deltas(), model.flip_deltas(refreshing.x)
+            )
+        np.testing.assert_allclose(
+            plain.deltas(), refreshing.deltas(), atol=1e-9
+        )
+
+    def test_drift_bounded_by_refresh(self):
+        """A refreshing state ends at least as close to the true fields."""
+        model = _random_factor_model(3)
+        rng = np.random.default_rng(501)
+        n = model.n_variables
+        x0 = (rng.random(n) < 0.5).astype(np.float64)
+        flips = rng.integers(0, n, size=400)
+        plain = FlipDeltaState(model, x0)
+        refreshing = FlipDeltaState(model, x0, refresh_every=10)
+        for var in flips:
+            plain.flip(int(var))
+            refreshing.flip(int(var))
+        truth = model.flip_deltas(plain.x)
+        drift_plain = np.abs(plain.deltas() - truth).max()
+        drift_refreshing = np.abs(refreshing.deltas() - truth).max()
+        assert drift_refreshing == 0.0  # 400 % 10 == 0: exact right now
+        assert drift_refreshing <= drift_plain
+
+    def test_energy_resynchronised(self):
+        model = _dense_model(4)
+        rng = np.random.default_rng(502)
+        n = model.n_variables
+        state = FlipDeltaState(
+            model,
+            (rng.random(n) < 0.5).astype(np.float64),
+            refresh_every=5,
+        )
+        for _ in range(25):
+            state.flip(int(rng.integers(n)))
+        assert state.energy == model.evaluate(state.x)
+
+    def test_invalid_cadence_rejected(self):
+        model = _dense_model(0)
+        with pytest.raises(QuboError, match="refresh_every"):
+            FlipDeltaState(model, np.zeros(model.n_variables), 0)
+        with pytest.raises(QuboError, match="refresh_every"):
+            FlipDeltaState(
+                model, np.zeros(model.n_variables), refresh_every=-3
+            )
+
+    def test_default_is_off(self):
+        model = _dense_model(0)
+        state = FlipDeltaState(model, np.zeros(model.n_variables))
+        assert state.refresh_every is None

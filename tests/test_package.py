@@ -77,6 +77,7 @@ DOCTEST_MODULES = [
     "repro.qubo.decode",
     "repro.qubo.sparse",
     "repro.qubo.delta",
+    "repro.qhd.engine",
     "repro.solvers.base",
     "repro.api.config",
     "repro.api.registry",
