@@ -1,0 +1,196 @@
+"""Regenerate the golden-trace regression fixtures in ``tests/golden/``.
+
+The golden-trace harness pins the *end-to-end* output of every
+registered detector × solver combination on two tiny graphs: each
+fixture stores the exact :class:`repro.api.RunSpec` that produced it
+plus the seeded :class:`repro.api.RunArtifact` it returned, scrubbed of
+wall-clock noise.  ``tests/test_golden.py`` re-runs every fixture's spec
+and compares the artifact field by field, so any change to a solver,
+detector, QUBO builder, refinement pass or the run pipeline that shifts
+a seeded end-to-end result — intentionally or not — fails loudly with
+the exact diverging field.
+
+When a change is *intentional* (a new default, a fixed bug, a new
+component), regenerate and commit the fixtures::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+then review the diff of ``tests/golden/`` like any other code change:
+every changed file is a behaviour change you are signing off on.  A
+newly registered detector or solver only needs a rerun — the script
+derives the combination list from the registries, and the test fails
+until a fixture exists for every combination.
+
+Determinism notes: specs are seeded, solver configs avoid anything
+wall-clock dependent (no finite time limits), and timings/"wall_time"
+fields are scrubbed, so fixtures are stable on one machine and float
+drift across BLAS builds is absorbed by the test's tolerance-aware
+comparison (exact for ints/strings/labels, tight relative tolerance for
+floats).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+#: Seed shared by every fixture (spec-level and portfolio members).
+GOLDEN_SEED = 11
+
+#: Community count used on both graphs.
+GOLDEN_COMMUNITIES = 2
+
+
+def _bridge_graph():
+    """Two triangles joined by one bridge edge (6 nodes, 2 communities)."""
+    from repro.graphs.graph import Graph
+
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    return Graph(6, edges)
+
+
+def _clique_pair_graph():
+    """Two bridged 4-cliques (8 nodes; 16 QUBO variables at k=2)."""
+    from repro.graphs.generators import ring_of_cliques
+
+    return ring_of_cliques(2, 4)[0]
+
+
+#: Graph name -> builder.  Sizes are capped so brute-force (2^(n*k)
+#: assignments) and branch & bound stay trivial on every combination.
+GRAPHS: dict[str, Callable[[], Any]] = {
+    "bridge": _bridge_graph,
+    "cliques": _clique_pair_graph,
+}
+
+#: Solver name -> config keeping every combination fast *and*
+#: wall-clock independent (no finite time limits, bounded iteration
+#: budgets).  Solvers absent here run with their defaults.
+SOLVER_CONFIGS: dict[str, dict[str, Any]] = {
+    "qhd": {"n_samples": 4, "grid_points": 8, "n_steps": 24, "shots": 2},
+    "simulated-annealing": {"n_sweeps": 40, "n_restarts": 2},
+    "tabu": {"n_iterations": 60},
+    "greedy": {"n_restarts": 2, "max_sweeps": 40},
+    "portfolio": {
+        "solvers": [
+            {
+                "name": "greedy",
+                "config": {"n_restarts": 2, "seed": GOLDEN_SEED},
+            },
+            {
+                "name": "simulated-annealing",
+                "config": {"n_sweeps": 30, "seed": GOLDEN_SEED},
+            },
+        ]
+    },
+}
+
+#: Detector name -> config overrides (kept small for speed).
+DETECTOR_CONFIGS: dict[str, dict[str, Any]] = {
+    "adaptive": {"max_rounds": 2},
+}
+
+#: Keys scrubbed (recursively) from stored artifacts: wall-clock noise
+#: that legitimately differs between runs of identical behaviour.
+VOLATILE_KEYS = frozenset({"timings", "wall_time"})
+
+
+def golden_spec(detector: str, solver: str) -> dict[str, Any]:
+    """The RunSpec dict of one golden combination."""
+    return {
+        "detector": detector,
+        "detector_config": dict(DETECTOR_CONFIGS.get(detector, {})),
+        "solver": solver,
+        "solver_config": dict(SOLVER_CONFIGS.get(solver, {})),
+        "n_communities": GOLDEN_COMMUNITIES,
+        "seed": GOLDEN_SEED,
+    }
+
+
+def golden_combinations() -> list[tuple[str, str, str]]:
+    """Every (detector, solver, graph) triple the harness pins."""
+    from repro.api import DETECTORS, SOLVERS
+
+    return [
+        (detector, solver, graph)
+        for detector in DETECTORS.available()
+        for solver in SOLVERS.available()
+        for graph in sorted(GRAPHS)
+    ]
+
+def fixture_name(detector: str, solver: str, graph: str) -> str:
+    """Fixture file name of one combination."""
+    return f"{detector}--{solver}--{graph}.json"
+
+
+def scrub(value: Any) -> Any:
+    """Recursively drop wall-clock fields from a JSON-ready artifact."""
+    if isinstance(value, dict):
+        return {
+            key: scrub(item)
+            for key, item in value.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [scrub(item) for item in value]
+    return value
+
+
+def run_combination(detector: str, solver: str, graph: str) -> dict[str, Any]:
+    """Execute one golden combination and return its fixture payload."""
+    import warnings
+
+    import repro.api as api
+
+    spec = api.RunSpec.from_dict(golden_spec(detector, solver))
+    with warnings.catch_warnings():
+        # Detectors without a seed knob warn that the spec seed only
+        # reached the solver; that is expected for these fixtures.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        artifact = api.detect(GRAPHS[graph](), spec)
+    return {
+        "detector": detector,
+        "solver": solver,
+        "graph": graph,
+        "spec": spec.to_dict(),
+        "artifact": scrub(artifact.to_dict()),
+    }
+
+
+def regenerate(golden_dir: Path = GOLDEN_DIR) -> list[Path]:
+    """Re-run every combination and rewrite the fixture files."""
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    combos = golden_combinations()
+    expected = {fixture_name(*combo) for combo in combos}
+    written: list[Path] = []
+    for detector, solver, graph in combos:
+        payload = run_combination(detector, solver, graph)
+        path = golden_dir / fixture_name(detector, solver, graph)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    # Drop fixtures of since-unregistered combinations so the directory
+    # always mirrors the registries exactly.
+    for stale in sorted(golden_dir.glob("*.json")):
+        if stale.name not in expected:
+            stale.unlink()
+            print(f"removed stale fixture {stale.name}")
+    return written
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    written = regenerate()
+    print(f"wrote {len(written)} golden fixtures to {GOLDEN_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

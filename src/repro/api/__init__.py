@@ -8,10 +8,16 @@ solver/detector combination declaratively:
   **cfg)``),
 * :class:`RunSpec` — one JSON-serialisable dict describing a whole run
   (detector + solver + configs + ``n_communities`` + seed),
-* :func:`detect` / :func:`solve` / :func:`detect_batch` — execute a
-  spec on a graph, a QUBO model, or a batch of graphs (thread-pool
-  fan-out), returning :class:`RunArtifact` objects that serialise the
-  spec, result, timings and seed back to JSON.
+* :func:`detect` / :func:`solve` / :func:`detect_batch` /
+  :func:`solve_batch` — execute a spec on a graph, a QUBO model, or a
+  batch of either (thread-pool fan-out), returning :class:`RunArtifact`
+  objects that serialise the spec, result, timings and seed back to
+  JSON,
+* :class:`Session` — a reusable run context owning a pooled-engine
+  cache and a persistent worker thread pool; the module-level verbs
+  delegate to the process-wide :func:`default_session`, so repeated
+  and batched runs amortise per-run setup automatically (results stay
+  bit-identical to one-shot runs).
 
 Example::
 
@@ -52,6 +58,13 @@ _RUNNER_EXPORTS = (
     "detect",
     "detect_batch",
     "solve",
+    "solve_batch",
+)
+
+_SESSION_EXPORTS = (
+    "Session",
+    "SessionError",
+    "default_session",
 )
 
 __all__ = [
@@ -67,6 +80,7 @@ __all__ = [
     "RunArtifact",
     "SpecError",
     *_RUNNER_EXPORTS,
+    *_SESSION_EXPORTS,
 ]
 
 
@@ -75,6 +89,10 @@ def __getattr__(name: str) -> Any:
         from repro.api import runner
 
         return getattr(runner, name)
+    if name in _SESSION_EXPORTS:
+        from repro.api import session
+
+        return getattr(session, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -6,20 +6,27 @@ This module implements the verbs of the ``repro.api`` facade:
   construction with uniform ``seed`` / ``time_limit`` threading,
 * :func:`detect` / :func:`solve` — execute one :class:`RunSpec` on one
   graph / QUBO model and return a :class:`RunArtifact`,
-* :func:`detect_batch` — fan one spec out over many graphs with a
-  thread pool, preserving input order and per-graph determinism (each
-  graph gets a freshly built, identically-seeded pipeline, so a batch
-  run reproduces the corresponding sequence of single runs exactly).
+* :func:`detect_batch` / :func:`solve_batch` — fan one spec out over
+  many graphs / models with a thread pool, preserving input order and
+  per-input determinism (each input gets a freshly built, identically-
+  seeded pipeline, so a batch run reproduces the corresponding sequence
+  of single runs exactly).
+
+The module-level verbs delegate to the process-wide
+:class:`repro.api.Session` (:func:`repro.api.default_session`), which
+owns the engine pool and the persistent worker threads; the private
+``_detect_one`` / ``_solve_one`` helpers here are the session's
+per-run execution core.
 """
 
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Sequence
 
 from repro.api.registry import DETECTORS, SOLVERS, Registry
 from repro.api.spec import RunArtifact, RunSpec, SpecError
+from repro.qhd.pool import EnginePool, attach_engine_pool
 from repro.utils.timer import Stopwatch
 
 
@@ -122,10 +129,17 @@ def build_detector(
     return _build(DETECTORS, spec.detector, config, seed=seed)
 
 
-def _detect_one(graph: Any, spec: RunSpec, index: int) -> "RunArtifact":
+def _detect_one(
+    graph: Any,
+    spec: RunSpec,
+    index: int,
+    engine_pool: EnginePool | None = None,
+) -> "RunArtifact":
     total = Stopwatch().start()
     build = Stopwatch().start()
     detector = build_detector(spec)
+    if engine_pool is not None:
+        attach_engine_pool(detector, engine_pool)
     build.stop()
     if spec.n_communities is None:
         raise SpecError(
@@ -148,8 +162,55 @@ def _detect_one(graph: Any, spec: RunSpec, index: int) -> "RunArtifact":
     )
 
 
+def _solve_one(
+    model: Any,
+    spec: RunSpec,
+    index: int,
+    engine_pool: EnginePool | None = None,
+) -> "RunArtifact":
+    if spec.solver is None:
+        raise SpecError("spec.solver is required for solve runs")
+    total = Stopwatch().start()
+    build = Stopwatch().start()
+    solver = build_solver(spec.solver, spec.solver_config, seed=spec.seed)
+    if engine_pool is not None:
+        attach_engine_pool(solver, engine_pool)
+    build.stop()
+    run = Stopwatch().start()
+    result = solver.solve(model)
+    run.stop()
+    total.stop()
+    return RunArtifact(
+        spec=spec,
+        result=result,
+        timings={
+            "build": build.elapsed,
+            "run": run.elapsed,
+            "total": total.elapsed,
+        },
+        seed=spec.seed,
+        index=index,
+    )
+
+
+def _session():
+    """The process-wide default :class:`repro.api.Session`.
+
+    Imported lazily to break the import cycle: ``repro.api.session``
+    imports this module at top level for the per-run execution core,
+    so the runner must reach back for the session at call time.
+    """
+    from repro.api.session import default_session
+
+    return default_session()
+
+
 def detect(graph: Any, spec: RunSpec | dict[str, Any] | str) -> Any:
     """Run one detection spec on ``graph`` and return a RunArtifact.
+
+    Runs through the process-wide :func:`repro.api.default_session`, so
+    repeated calls reuse pooled evolution engines; results are
+    bit-identical to a fresh, unpooled run.
 
     Examples
     --------
@@ -163,7 +224,7 @@ def detect(graph: Any, spec: RunSpec | dict[str, Any] | str) -> Any:
     >>> artifact.result.n_communities
     3
     """
-    return _detect_one(graph, _spec_of(spec), index=0)
+    return _session().detect(graph, spec)
 
 
 def detect_batch(
@@ -182,8 +243,15 @@ def detect_batch(
         identically-seeded detector, so results match single
         :func:`detect` calls regardless of ``max_workers``.
     max_workers:
-        Thread-pool width; ``None`` sizes the pool to the batch (capped
-        at 8) and ``1`` runs inline without a pool.
+        Concurrent runs; ``None`` uses the default session's width
+        (``min(8, cpu_count)``) and ``1`` runs inline.
+
+    Notes
+    -----
+    Delegates to :meth:`repro.api.Session.detect_batch` on the
+    process-wide default session: worker threads persist across calls
+    and same-shape QHD runs lease pooled evolution engines instead of
+    rebuilding phase tables and buffers per graph.
 
     Examples
     --------
@@ -199,20 +267,7 @@ def detect_batch(
     >>> len({a.result.n_communities for a in artifacts})
     1
     """
-    spec = _spec_of(spec)
-    graphs = list(graphs)
-    if max_workers is None:
-        max_workers = min(8, max(1, len(graphs)))
-    if max_workers <= 1 or len(graphs) <= 1:
-        return [
-            _detect_one(graph, spec, index) for index, graph in enumerate(graphs)
-        ]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(_detect_one, graph, spec, index)
-            for index, graph in enumerate(graphs)
-        ]
-        return [future.result() for future in futures]
+    return _session().detect_batch(graphs, spec, max_workers=max_workers)
 
 
 def solve(model: Any, spec: RunSpec | dict[str, Any] | str) -> Any:
@@ -227,25 +282,33 @@ def solve(model: Any, spec: RunSpec | dict[str, Any] | str) -> Any:
     >>> artifact.result.energy
     -1.0
     """
-    spec = _spec_of(spec)
-    if spec.solver is None:
-        raise SpecError("spec.solver is required for solve runs")
-    total = Stopwatch().start()
-    build = Stopwatch().start()
-    solver = build_solver(spec.solver, spec.solver_config, seed=spec.seed)
-    build.stop()
-    run = Stopwatch().start()
-    result = solver.solve(model)
-    run.stop()
-    total.stop()
-    return RunArtifact(
-        spec=spec,
-        result=result,
-        timings={
-            "build": build.elapsed,
-            "run": run.elapsed,
-            "total": total.elapsed,
-        },
-        seed=spec.seed,
-        index=0,
-    )
+    return _session().solve(model, spec)
+
+
+def solve_batch(
+    models: Sequence[Any],
+    spec: RunSpec | dict[str, Any] | str,
+    max_workers: int | None = None,
+) -> list[Any]:
+    """Run one solve spec over many QUBO models, optionally in parallel.
+
+    The solve-side counterpart of :func:`detect_batch`: every model
+    gets its own freshly built, identically-seeded solver, so the batch
+    reproduces the corresponding sequence of single :func:`solve` calls
+    for any ``max_workers``.  Runs through the default session's
+    persistent thread pool and engine pool.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.qubo import QuboModel
+    >>> models = [
+    ...     QuboModel(np.array([[0.0, 2.0], [0.0, 0.0]]), [-1.0, -1.0])
+    ...     for _ in range(3)
+    ... ]
+    >>> artifacts = solve_batch(
+    ...     models, {"solver": "greedy", "seed": 0}, max_workers=2)
+    >>> [a.result.energy for a in artifacts]
+    [-1.0, -1.0, -1.0]
+    """
+    return _session().solve_batch(models, spec, max_workers=max_workers)

@@ -1,0 +1,323 @@
+"""Reusable run sessions: pooled engines + a persistent thread pool.
+
+A :class:`Session` is the service-shaped counterpart of the one-shot
+:func:`repro.api.detect` / :func:`repro.api.solve` verbs.  It owns two
+pieces of reusable runtime state:
+
+* an :class:`repro.qhd.pool.EnginePool` — every QHD solver built by the
+  session leases its evolution engine (phase tables + workspace
+  buffers) from the pool instead of constructing one, so repeated runs
+  and same-shape batches amortise the whole-run precomputation;
+* a persistent :class:`~concurrent.futures.ThreadPoolExecutor` — batch
+  fan-outs reuse one set of worker threads instead of building and
+  tearing down a pool per call.
+
+Determinism is unchanged: every run still gets its own freshly built,
+identically-seeded pipeline, and pooled engines are rebound and fully
+re-initialised per lease, so session runs are bit-identical to one-shot
+runs (pinned by ``tests/api/test_session.py``, including the
+concurrent-lease case).
+
+The module-level facade verbs delegate to a process-wide
+:func:`default_session`, so plain ``api.detect_batch(...)`` calls
+amortise engine setup automatically.
+
+Examples
+--------
+>>> import repro.api as api
+>>> from repro.graphs import ring_of_cliques
+>>> graphs = [ring_of_cliques(3, 5)[0] for _ in range(3)]
+>>> spec = {"solver": "greedy", "n_communities": 3, "seed": 0}
+>>> with api.Session() as session:
+...     artifacts = session.detect_batch(graphs, spec, max_workers=2)
+...     [a.index for a in artifacts]
+[0, 1, 2]
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from repro.api import runner
+from repro.api.spec import RunArtifact
+from repro.exceptions import ReproError
+from repro.qhd.pool import EnginePool
+
+
+class SessionError(ReproError):
+    """Raised for invalid session usage (e.g. running after close)."""
+
+
+def _default_width() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+class Session:
+    """A reusable run context amortising per-run setup across calls.
+
+    Parameters
+    ----------
+    max_workers:
+        Width of the session's persistent thread pool (and the default
+        fan-out of :meth:`detect_batch` / :meth:`solve_batch`).
+        ``None`` sizes it to ``min(8, cpu_count)``.
+    max_idle_engines:
+        Idle evolution engines kept per distinct run shape in the
+        session's engine pool (see
+        :class:`repro.qhd.pool.EnginePool`).
+    pooling:
+        ``False`` disables engine pooling entirely — every run
+        constructs fresh engines, exactly like the pre-session code
+        path.  Useful for A/B benchmarking the pool itself.
+
+    Examples
+    --------
+    >>> import repro.api as api
+    >>> from repro.graphs import ring_of_cliques
+    >>> graph, _ = ring_of_cliques(3, 5)
+    >>> session = api.Session()
+    >>> spec = {"solver": "greedy", "n_communities": 3, "seed": 0}
+    >>> a = session.detect(graph, spec)
+    >>> b = session.detect(graph, spec)  # seeded: identical result
+    >>> bool((a.result.labels == b.result.labels).all())
+    True
+    >>> session.close()
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        max_idle_engines: int = 4,
+        pooling: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise SessionError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._max_workers = (
+            _default_width() if max_workers is None else int(max_workers)
+        )
+        self._engine_pool = (
+            EnginePool(max_idle_per_key=max_idle_engines) if pooling else None
+        )
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._runs = 0
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def engine_pool(self) -> EnginePool | None:
+        """The session's engine pool (``None`` when pooling is off)."""
+        return self._engine_pool
+
+    @property
+    def max_workers(self) -> int:
+        """Width of the persistent thread pool."""
+        return self._max_workers
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def stats(self) -> dict[str, Any]:
+        """Run counters plus the engine pool's counters (JSON-ready)."""
+        with self._lock:
+            runs = self._runs
+        return {
+            "runs": runs,
+            "max_workers": self._max_workers,
+            "engine_pool": (
+                None
+                if self._engine_pool is None
+                else self._engine_pool.stats()
+            ),
+        }
+
+    def close(self) -> None:
+        """Shut the thread pool down and drop every idle engine.
+
+        Idempotent; further run calls raise :class:`SessionError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if self._engine_pool is not None:
+            self._engine_pool.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session(max_workers={self._max_workers}, "
+            f"pooling={self._engine_pool is not None}, {state})"
+        )
+
+    # ------------------------------------------------------------------
+    # Run verbs
+    # ------------------------------------------------------------------
+    def detect(self, graph: Any, spec: Any) -> RunArtifact:
+        """Run one detection spec on ``graph`` (see :func:`repro.api.detect`)."""
+        self._check_open()
+        artifact = runner._detect_one(
+            graph, runner._spec_of(spec), 0, engine_pool=self._engine_pool
+        )
+        self._count(1)
+        return artifact
+
+    def solve(self, model: Any, spec: Any) -> RunArtifact:
+        """Run one solve spec on ``model`` (see :func:`repro.api.solve`)."""
+        self._check_open()
+        artifact = runner._solve_one(
+            model, runner._spec_of(spec), 0, engine_pool=self._engine_pool
+        )
+        self._count(1)
+        return artifact
+
+    def detect_batch(
+        self,
+        graphs: Sequence[Any],
+        spec: Any,
+        max_workers: int | None = None,
+    ) -> list[RunArtifact]:
+        """Fan one detection spec over many graphs, order-preserving.
+
+        Every graph gets its own freshly built, identically-seeded
+        detector (batch ≡ sequence of single runs); the session's
+        engine pool lets same-shape runs share evolution engines and
+        its persistent thread pool absorbs the fan-out.
+        """
+        return self._run_batch(
+            runner._detect_one, graphs, spec, max_workers
+        )
+
+    def solve_batch(
+        self,
+        models: Sequence[Any],
+        spec: Any,
+        max_workers: int | None = None,
+    ) -> list[RunArtifact]:
+        """Fan one solve spec over many QUBO models, order-preserving.
+
+        The solve-side counterpart of :meth:`detect_batch`: each model
+        gets a freshly built, identically-seeded solver, so the batch
+        reproduces the corresponding sequence of single :meth:`solve`
+        calls for any worker count.
+        """
+        return self._run_batch(
+            runner._solve_one, models, spec, max_workers
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    def _count(self, n: int) -> None:
+        with self._lock:
+            self._runs += n
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise SessionError("session is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-session",
+                )
+            return self._executor
+
+    def _run_batch(self, run_one, inputs, spec, max_workers) -> list:
+        self._check_open()
+        spec = runner._spec_of(spec)
+        inputs = list(inputs)
+        width = self._max_workers if max_workers is None else max_workers
+        width = max(1, min(int(width), len(inputs) or 1))
+        pool = self._engine_pool
+        if width <= 1 or len(inputs) <= 1:
+            results = [
+                run_one(item, spec, index, engine_pool=pool)
+                for index, item in enumerate(inputs)
+            ]
+            self._count(len(results))
+            return results
+        # The persistent executor is sized once per session.  A
+        # narrower request is honoured with a semaphore bounding
+        # concurrent runs; a *wider* one gets a temporary pool for the
+        # call so the requested width is honoured exactly (results are
+        # deterministic either way — this only shapes throughput).
+        temporary = None
+        gate = None
+        if width > self._max_workers:
+            temporary = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="repro-batch"
+            )
+            executor = temporary
+        else:
+            executor = self._ensure_executor()
+            if width < self._max_workers:
+                gate = threading.BoundedSemaphore(width)
+
+        def task(item, index):
+            if gate is None:
+                return run_one(item, spec, index, engine_pool=pool)
+            with gate:
+                return run_one(item, spec, index, engine_pool=pool)
+
+        try:
+            futures = [
+                executor.submit(task, item, index)
+                for index, item in enumerate(inputs)
+            ]
+            results = [future.result() for future in futures]
+        finally:
+            if temporary is not None:
+                temporary.shutdown(wait=True)
+        self._count(len(results))
+        return results
+
+
+# ----------------------------------------------------------------------
+# The process-wide default session behind the module-level verbs
+# ----------------------------------------------------------------------
+_default_session: Session | None = None
+_default_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The lazily created process-wide session.
+
+    Backs the module-level :func:`repro.api.detect` /
+    :func:`repro.api.solve` / :func:`repro.api.detect_batch` /
+    :func:`repro.api.solve_batch` verbs, so plain facade calls amortise
+    engine setup and thread-pool spin-up without any session plumbing.
+
+    Examples
+    --------
+    >>> import repro.api as api
+    >>> api.default_session() is api.default_session()
+    True
+    """
+    global _default_session
+    with _default_lock:
+        if _default_session is None or _default_session.closed:
+            _default_session = Session()
+        return _default_session

@@ -41,8 +41,9 @@ Two conveniences round the engine off: the fused argmins
 evaluate the best single flip directly off the maintained fields into a
 state-owned scratch buffer — the tabu/greedy loops no longer allocate an
 O(n) ``deltas()`` copy per iteration — and an optional ``refresh_every``
-cadence re-materialises the fields every that many accepted flips, so
-very long runs can bound their floating-point drift.
+cadence (on both the single and the batched state) re-materialises the
+fields every that many accepted flips/flip rounds, so very long runs
+can bound their floating-point drift.
 
 Solvers reach this engine through
 :func:`repro.solvers.base.flip_state`; see ``docs/architecture.md`` for
@@ -114,6 +115,21 @@ def _factor_slots(model: BaseQubo):
         f_csc.data,
         diag,
     )
+
+
+def _check_refresh_every(refresh_every) -> int | None:
+    """Validate a refresh cadence (positive int or ``None`` = never)."""
+    if refresh_every is None:
+        return None
+    if (
+        not isinstance(refresh_every, (int, np.integer))
+        or refresh_every < 1
+    ):
+        raise QuboError(
+            f"refresh_every must be a positive integer or None, "
+            f"got {refresh_every!r}"
+        )
+    return int(refresh_every)
 
 
 def _bind_model_slots(state, model: BaseQubo) -> None:
@@ -196,19 +212,9 @@ class FlipDeltaState:
             raise QuboError(
                 f"x must have shape ({model.n_variables},), got {vec.shape}"
             )
-        if refresh_every is not None and (
-            not isinstance(refresh_every, (int, np.integer))
-            or refresh_every < 1
-        ):
-            raise QuboError(
-                f"refresh_every must be a positive integer or None, "
-                f"got {refresh_every!r}"
-            )
         self._model = model
         self._x = vec
-        self._refresh_every = (
-            None if refresh_every is None else int(refresh_every)
-        )
+        self._refresh_every = _check_refresh_every(refresh_every)
         self._scratch = np.empty_like(vec)
         self._mask_scratch: np.ndarray | None = None
         _bind_model_slots(self, model)
@@ -391,6 +397,15 @@ class BatchFlipDeltaState:
         Dense or sparse :class:`repro.qubo.model.BaseQubo`.
     xs:
         Binary assignments, shape ``(batch, n_variables)``; copied.
+    refresh_every:
+        Optional cadence, counted in accepted **flip rounds** (calls to
+        :meth:`flip`, each of which flips at most one bit per
+        trajectory), at which the whole batch re-materialises its
+        fields and energies from the model — the batched counterpart
+        of :class:`FlipDeltaState`'s knob, bounding the floating-point
+        drift of long batched descents to at most that many incremental
+        rounds.  ``None`` (default) never refreshes — the historical,
+        bit-exact behaviour.
 
     Examples
     --------
@@ -405,7 +420,12 @@ class BatchFlipDeltaState:
     True
     """
 
-    def __init__(self, model: BaseQubo, xs: np.ndarray) -> None:
+    def __init__(
+        self,
+        model: BaseQubo,
+        xs: np.ndarray,
+        refresh_every: int | None = None,
+    ) -> None:
         if not isinstance(model, BaseQubo):
             raise QuboError(
                 f"model must be a BaseQubo, got {type(model).__name__}"
@@ -418,12 +438,9 @@ class BatchFlipDeltaState:
             )
         self._model = model
         self._x = batch
-        self._fields = np.asarray(
-            model.local_fields_batch(batch), dtype=np.float64
-        ).copy()
-        self._energies = np.asarray(
-            model.evaluate_batch(batch), dtype=np.float64
-        ).copy()
+        self._refresh_every = _check_refresh_every(refresh_every)
+        self.refresh()
+        self._n_flips = 0
         self._scratch = np.empty_like(batch)
         _bind_model_slots(self, model)
 
@@ -440,6 +457,16 @@ class BatchFlipDeltaState:
         view = self._energies.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def n_flips(self) -> int:
+        """Accepted flip rounds applied since construction."""
+        return self._n_flips
+
+    @property
+    def refresh_every(self) -> int | None:
+        """Flip-round cadence of automatic refreshes (None = never)."""
+        return self._refresh_every
 
     def deltas(self) -> np.ndarray:
         """Flip deltas for every (trajectory, bit), shape ``(batch, n)``."""
@@ -516,10 +543,30 @@ class BatchFlipDeltaState:
 
         self._x[rows, cols] = 1.0 - self._x[rows, cols]
         self._energies[rows] += deltas
+        self._n_flips += 1
+        if (
+            self._refresh_every is not None
+            and self._n_flips % self._refresh_every == 0
+        ):
+            self.refresh()
         return deltas
+
+    def refresh(self) -> None:
+        """Resynchronise fields and energies from the model.
+
+        One full batched mat-vec plus one batched evaluation — the same
+        cost as a fresh materialisation — discarding any accumulated
+        floating-point drift across the whole population.
+        """
+        self._fields = np.asarray(
+            self._model.local_fields_batch(self._x), dtype=np.float64
+        ).copy()
+        self._energies = np.asarray(
+            self._model.evaluate_batch(self._x), dtype=np.float64
+        ).copy()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BatchFlipDeltaState(batch={self._x.shape[0]}, "
-            f"n_variables={self._x.shape[1]})"
+            f"n_variables={self._x.shape[1]}, n_flips={self._n_flips})"
         )

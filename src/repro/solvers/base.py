@@ -139,13 +139,18 @@ def flip_state(
     return FlipDeltaState(model, x, refresh_every=refresh_every)
 
 
-def batch_flip_state(model: BaseQubo, xs: np.ndarray) -> BatchFlipDeltaState:
+def batch_flip_state(
+    model: BaseQubo, xs: np.ndarray, refresh_every: int | None = None
+) -> BatchFlipDeltaState:
     """Batched :func:`flip_state`: one trajectory per row of ``xs``.
 
     Used by the vectorised 1-opt descent behind the QHD refinement pass
-    (:func:`repro.solvers.greedy.local_search_batch`).
+    (:func:`repro.solvers.greedy.local_search_batch`).  ``refresh_every``
+    re-materialises the whole population's fields every that many
+    accepted flip rounds, bounding floating-point drift on very long
+    batched descents (``None`` = never, the bit-exact default).
     """
-    return BatchFlipDeltaState(model, xs)
+    return BatchFlipDeltaState(model, xs, refresh_every=refresh_every)
 
 
 class QuboSolver(Configurable, ABC):

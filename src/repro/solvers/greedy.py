@@ -82,6 +82,7 @@ def local_search_batch(
     model: QuboModel,
     xs: np.ndarray,
     max_sweeps: int = 100,
+    refresh_every: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorised 1-opt descent on a whole batch of assignments at once.
 
@@ -91,7 +92,10 @@ def local_search_batch(
     materialisation up front, no ``(batch, n)`` delta copy per sweep,
     then O(row nnz) per accepted flip instead of a full batch mat-vec.
     Used by the QHD solver to refine all measurement samples
-    simultaneously.
+    simultaneously.  ``refresh_every`` bounds the float drift of very
+    long descents by re-materialising the population's fields every
+    that many accepted sweeps (``None`` = never, the bit-exact
+    default).
 
     Returns
     -------
@@ -101,7 +105,7 @@ def local_search_batch(
     batch = np.asarray(xs, dtype=np.float64)
     if batch.ndim != 2:
         raise ValueError(f"xs must be 2-D, got shape {batch.shape}")
-    state = batch_flip_state(model, batch)
+    state = batch_flip_state(model, batch, refresh_every=refresh_every)
     active = np.ones(len(batch), dtype=bool)
     rows = np.arange(len(batch))
     for _ in range(max_sweeps):

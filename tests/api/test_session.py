@@ -1,0 +1,201 @@
+"""Session runtime contracts: reuse, determinism, concurrency safety."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import runner
+from repro.api.session import Session, SessionError, default_session
+from repro.graphs.generators import ring_of_cliques
+from repro.qubo.random_instances import random_qubo
+
+QHD_SPEC = {
+    "detector": "qhd",
+    "solver": "qhd",
+    "solver_config": {"n_samples": 4, "grid_points": 8, "n_steps": 15},
+    "n_communities": 3,
+    "seed": 7,
+}
+
+
+def _fresh_artifact(graph, spec):
+    """Ground truth: one unpooled, freshly built pipeline per run."""
+    return runner._detect_one(graph, runner._spec_of(spec), 0)
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes(self):
+        with Session() as session:
+            assert not session.closed
+        assert session.closed
+
+    def test_close_is_idempotent_and_final(self, clique_ring):
+        graph, _ = clique_ring
+        session = Session()
+        session.detect(graph, QHD_SPEC)
+        session.close()
+        session.close()
+        with pytest.raises(SessionError, match="closed"):
+            session.detect(graph, QHD_SPEC)
+        with pytest.raises(SessionError, match="closed"):
+            session.detect_batch([graph], QHD_SPEC)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(SessionError, match="max_workers"):
+            Session(max_workers=0)
+
+    def test_stats_shape(self, clique_ring):
+        graph, _ = clique_ring
+        with Session() as session:
+            session.detect(graph, QHD_SPEC)
+            stats = session.stats()
+        assert stats["runs"] == 1
+        assert stats["engine_pool"]["misses"] >= 1
+
+    def test_pooling_can_be_disabled(self, clique_ring):
+        graph, _ = clique_ring
+        with Session(pooling=False) as session:
+            artifact = session.detect(graph, QHD_SPEC)
+            assert session.engine_pool is None
+            assert session.stats()["engine_pool"] is None
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+        np.testing.assert_array_equal(
+            artifact.result.labels, fresh.result.labels
+        )
+
+    def test_default_session_is_shared_and_replaced_after_close(self):
+        first = default_session()
+        assert default_session() is first
+        first.close()
+        second = default_session()
+        assert second is not first and not second.closed
+
+
+class TestSessionDeterminism:
+    def test_repeated_detect_identical_and_pooled(self, clique_ring):
+        graph, _ = clique_ring
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+        with Session() as session:
+            first = session.detect(graph, QHD_SPEC)
+            second = session.detect(graph, QHD_SPEC)
+            stats = session.stats()
+        assert stats["engine_pool"]["hits"] >= 1
+        for artifact in (first, second):
+            np.testing.assert_array_equal(
+                artifact.result.labels, fresh.result.labels
+            )
+            assert artifact.result.modularity == fresh.result.modularity
+            assert (
+                artifact.result.solve_result.energy
+                == fresh.result.solve_result.energy
+            )
+
+    def test_detect_batch_equals_singles(self):
+        graphs = [ring_of_cliques(3, 4)[0] for _ in range(4)]
+        expected = [_fresh_artifact(g, QHD_SPEC) for g in graphs]
+        with Session() as session:
+            got = session.detect_batch(graphs, QHD_SPEC, max_workers=4)
+        assert [a.index for a in got] == [0, 1, 2, 3]
+        for want, have in zip(expected, got):
+            np.testing.assert_array_equal(
+                want.result.labels, have.result.labels
+            )
+
+    def test_solve_batch_equals_singles(self):
+        models = [random_qubo(8, 0.4, seed=i) for i in range(4)]
+        spec = {
+            "solver": "qhd",
+            "solver_config": {
+                "n_samples": 4, "grid_points": 8, "n_steps": 15,
+            },
+            "seed": 3,
+        }
+        with Session() as session:
+            batch = session.solve_batch(models, spec, max_workers=2)
+            singles = [session.solve(m, spec) for m in models]
+        for one, many in zip(singles, batch):
+            assert one.result.energy == many.result.energy
+            np.testing.assert_array_equal(one.result.x, many.result.x)
+
+    def test_module_verbs_delegate_to_default_session(self, clique_ring):
+        graph, _ = clique_ring
+        session = default_session()
+        before = session.stats()["runs"]
+        artifact = api.detect(graph, QHD_SPEC)
+        assert default_session().stats()["runs"] == before + 1
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+        np.testing.assert_array_equal(
+            artifact.result.labels, fresh.result.labels
+        )
+
+
+class TestSessionConcurrency:
+    """Hammer one session from N threads with mixed-shape specs."""
+
+    def _jobs(self):
+        jobs = []
+        # Three distinct engine shapes (grid/steps/variable-count all
+        # vary), several same-shape repeats to force lease contention.
+        for index in range(4):
+            graph, _ = ring_of_cliques(3, 4 + (index % 2))
+            jobs.append((graph, QHD_SPEC))
+        wide = {
+            **QHD_SPEC,
+            "solver_config": {
+                "n_samples": 4, "grid_points": 16, "n_steps": 10,
+            },
+            "n_communities": 2,
+        }
+        for index in range(4):
+            graph, _ = ring_of_cliques(2, 5 + (index % 2))
+            jobs.append((graph, wide))
+        return jobs
+
+    def test_hammered_session_matches_sequential_fresh_runs(self):
+        jobs = self._jobs()
+        expected = [_fresh_artifact(graph, spec) for graph, spec in jobs]
+        with Session(max_idle_engines=8) as session:
+            barrier = threading.Barrier(8)
+
+            def run(job):
+                barrier.wait()  # release all threads at once
+                graph, spec = job
+                return session.detect(graph, spec)
+
+            with ThreadPoolExecutor(max_workers=8) as executor:
+                got = list(executor.map(run, jobs))
+            stats = session.stats()
+
+        assert stats["runs"] == len(jobs)
+        for want, have in zip(expected, got):
+            np.testing.assert_array_equal(
+                want.result.labels, have.result.labels
+            )
+            assert want.result.modularity == have.result.modularity
+            assert (
+                want.result.solve_result.energy
+                == have.result.solve_result.energy
+            )
+            np.testing.assert_array_equal(
+                want.result.solve_result.x, have.result.solve_result.x
+            )
+
+    def test_hammered_batches_reuse_engines_without_aliasing(self):
+        graphs = [ring_of_cliques(3, 4)[0] for _ in range(6)]
+        expected = [_fresh_artifact(g, QHD_SPEC) for g in graphs]
+        with Session(max_workers=4) as session:
+            for _ in range(3):  # repeated batches reuse pooled engines
+                got = session.detect_batch(graphs, QHD_SPEC)
+                for want, have in zip(expected, got):
+                    np.testing.assert_array_equal(
+                        want.result.labels, have.result.labels
+                    )
+            stats = session.stats()
+        pool_stats = stats["engine_pool"]
+        assert pool_stats["hits"] >= pool_stats["misses"]
+        assert stats["runs"] == 18

@@ -374,3 +374,123 @@ class TestRefreshCadence:
         model = _dense_model(0)
         state = FlipDeltaState(model, np.zeros(model.n_variables))
         assert state.refresh_every is None
+
+
+class TestBatchRefreshCadence:
+    """``refresh_every`` on the batched state: the PR-4 open item.
+
+    Long batched descents (the QHD refinement pass runs one) accumulate
+    one rank-one update per accepted flip round; the cadence bounds the
+    resulting float drift to at most ``refresh_every`` rounds without
+    changing which bits get flipped.
+    """
+
+    @staticmethod
+    def _random_rounds(rng, batch, n, rounds):
+        """Random (rows, cols) flip rounds, each touching a row subset."""
+        plans = []
+        for _ in range(rounds):
+            size = int(rng.integers(1, batch + 1))
+            rows = rng.choice(batch, size=size, replace=False)
+            cols = rng.integers(0, n, size=size)
+            plans.append((rows, cols))
+        return plans
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    @pytest.mark.parametrize("cadence", [1, 7, 25])
+    def test_population_invariant_under_refresh(self, factory, cadence):
+        """Same flip rounds, same assignments; fields exact at refresh."""
+        model = factory(1)
+        rng = np.random.default_rng(600)
+        n = model.n_variables
+        batch = 6
+        x0 = (rng.random((batch, n)) < 0.5).astype(np.float64)
+        rounds = self._random_rounds(rng, batch, n, 75)
+        plain = BatchFlipDeltaState(model, x0)
+        refreshing = BatchFlipDeltaState(model, x0, refresh_every=cadence)
+        assert refreshing.refresh_every == cadence
+        for rows, cols in rounds:
+            plain.flip(rows, cols)
+            refreshing.flip(rows, cols)
+        assert refreshing.n_flips == 75
+        np.testing.assert_array_equal(plain.x, refreshing.x)
+        if 75 % cadence == 0:
+            # Post-refresh fields are *exactly* the model's recomputation.
+            np.testing.assert_array_equal(
+                refreshing.deltas(),
+                (1.0 - 2.0 * refreshing.x)
+                * np.asarray(model.local_fields_batch(refreshing.x)),
+            )
+            np.testing.assert_array_equal(
+                refreshing.energies, model.evaluate_batch(refreshing.x)
+            )
+        np.testing.assert_allclose(
+            plain.deltas(), refreshing.deltas(), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    def test_drift_bounded_on_long_descent(self, factory):
+        """After many rounds the refreshing state stays near the truth."""
+        model = factory(2)
+        rng = np.random.default_rng(601)
+        n = model.n_variables
+        batch = 5
+        x0 = (rng.random((batch, n)) < 0.5).astype(np.float64)
+        rounds = self._random_rounds(rng, batch, n, 300)
+        plain = BatchFlipDeltaState(model, x0)
+        refreshing = BatchFlipDeltaState(model, x0, refresh_every=20)
+        for rows, cols in rounds:
+            plain.flip(rows, cols)
+            refreshing.flip(rows, cols)
+        truth_fields = np.asarray(model.local_fields_batch(plain.x))
+        truth_deltas = (1.0 - 2.0 * plain.x) * truth_fields
+        truth_energies = model.evaluate_batch(plain.x)
+        drift_plain = np.abs(plain.deltas() - truth_deltas).max()
+        drift_refreshing = np.abs(
+            refreshing.deltas() - truth_deltas
+        ).max()
+        # 300 % 20 == 0: the state is exactly resynchronised right now.
+        assert drift_refreshing == 0.0
+        assert drift_refreshing <= drift_plain
+        np.testing.assert_array_equal(refreshing.energies, truth_energies)
+
+    def test_local_search_batch_accepts_cadence(self):
+        """The batched 1-opt descent threads the knob through unchanged."""
+        from repro.solvers.greedy import local_search_batch
+
+        model = _dense_model(5)
+        rng = np.random.default_rng(602)
+        xs = (rng.random((8, model.n_variables)) < 0.5).astype(np.float64)
+        plain_x, plain_e = local_search_batch(model, xs, max_sweeps=200)
+        fresh_x, fresh_e = local_search_batch(
+            model, xs, max_sweeps=200, refresh_every=3
+        )
+        # Drift over a few hundred well-conditioned sweeps is far below
+        # the 1e-12 acceptance threshold, so the descents coincide.
+        np.testing.assert_array_equal(plain_x, fresh_x)
+        np.testing.assert_allclose(plain_e, fresh_e, atol=1e-9)
+
+    def test_batch_flip_state_helper_threads_cadence(self):
+        from repro.solvers.base import batch_flip_state
+
+        model = _dense_model(6)
+        state = batch_flip_state(
+            model, np.zeros((3, model.n_variables)), refresh_every=4
+        )
+        assert state.refresh_every == 4
+
+    def test_invalid_cadence_rejected(self):
+        model = _dense_model(0)
+        zeros = np.zeros((2, model.n_variables))
+        with pytest.raises(QuboError, match="refresh_every"):
+            BatchFlipDeltaState(model, zeros, refresh_every=0)
+        with pytest.raises(QuboError, match="refresh_every"):
+            BatchFlipDeltaState(model, zeros, refresh_every=-1)
+        with pytest.raises(QuboError, match="refresh_every"):
+            BatchFlipDeltaState(model, zeros, refresh_every=2.5)
+
+    def test_default_is_off(self):
+        model = _dense_model(0)
+        state = BatchFlipDeltaState(model, np.zeros((2, model.n_variables)))
+        assert state.refresh_every is None
+        assert state.n_flips == 0

@@ -1,0 +1,137 @@
+"""Golden-trace regression harness: seeded end-to-end artifacts pinned.
+
+Every registered detector × solver combination runs on two tiny graphs
+with a fixed seed; the resulting :class:`repro.api.RunArtifact` is
+compared field by field against the committed fixture in
+``tests/golden/``.  Any behaviour change to the pipeline — QUBO
+construction, solver trajectories, refinement, decoding, artifact
+serialisation — shows up as a precise field diff here.
+
+Intentional changes are re-pinned with::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+(see that script's docstring for the review workflow).  The combination
+list comes from the live registries, so registering a new detector or
+solver fails this suite until its fixtures are generated.
+
+Comparison rules: ints, bools, strings and structure compare exactly
+(community labels and solver assignments are ints, so label flips are
+always caught); floats compare with a tight relative tolerance so the
+harness survives BLAS-level rounding differences across machines
+without masking real changes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from regen_golden import (  # noqa: E402
+    GRAPHS,
+    fixture_name,
+    golden_combinations,
+    run_combination,
+)
+
+#: Relative tolerance of float leaf comparison (absolute for ~0 values).
+FLOAT_RTOL = 1e-7
+FLOAT_ATOL = 1e-9
+
+
+def _fixture_paths() -> list[Path]:
+    return sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _diff(golden, fresh, path, out: list[str]) -> None:
+    """Collect human-readable field diffs between two JSON trees."""
+    if isinstance(golden, dict) and isinstance(fresh, dict):
+        for key in sorted(set(golden) | set(fresh)):
+            if key not in golden:
+                out.append(f"{path}.{key}: unexpected new field")
+            elif key not in fresh:
+                out.append(f"{path}.{key}: missing field")
+            else:
+                _diff(golden[key], fresh[key], f"{path}.{key}", out)
+        return
+    if isinstance(golden, list) and isinstance(fresh, list):
+        if len(golden) != len(fresh):
+            out.append(
+                f"{path}: length {len(golden)} != {len(fresh)}"
+            )
+            return
+        for index, (g, f) in enumerate(zip(golden, fresh)):
+            _diff(g, f, f"{path}[{index}]", out)
+        return
+    # bool is an int subclass: compare exactly, before the float branch.
+    if isinstance(golden, bool) or isinstance(fresh, bool):
+        if golden is not fresh:
+            out.append(f"{path}: {golden!r} != {fresh!r}")
+        return
+    if isinstance(golden, float) or isinstance(fresh, float):
+        if not isinstance(golden, (int, float)) or not isinstance(
+            fresh, (int, float)
+        ):
+            out.append(f"{path}: {golden!r} != {fresh!r}")
+        elif not math.isclose(
+            float(golden),
+            float(fresh),
+            rel_tol=FLOAT_RTOL,
+            abs_tol=FLOAT_ATOL,
+        ):
+            out.append(f"{path}: {golden!r} != {fresh!r}")
+        return
+    if golden != fresh:
+        out.append(f"{path}: {golden!r} != {fresh!r}")
+
+
+def test_fixture_set_matches_registries():
+    """One fixture per registered detector × solver × graph, no strays."""
+    expected = {fixture_name(*combo) for combo in golden_combinations()}
+    present = {path.name for path in _fixture_paths()}
+    missing = sorted(expected - present)
+    stale = sorted(present - expected)
+    assert not missing, (
+        f"golden fixtures missing for {missing}; run "
+        f"`PYTHONPATH=src python scripts/regen_golden.py`"
+    )
+    assert not stale, (
+        f"stale golden fixtures {stale}; run "
+        f"`PYTHONPATH=src python scripts/regen_golden.py`"
+    )
+
+
+def test_two_graphs_pinned():
+    assert len(GRAPHS) == 2
+
+
+@pytest.mark.parametrize(
+    "fixture_path",
+    _fixture_paths(),
+    ids=lambda path: path.stem,
+)
+def test_golden_trace(fixture_path: Path):
+    """Re-run the fixture's spec; the artifact must match field by field."""
+    payload = json.loads(fixture_path.read_text(encoding="utf-8"))
+    fresh = run_combination(
+        payload["detector"], payload["solver"], payload["graph"]
+    )
+    diffs: list[str] = []
+    _diff(payload["spec"], fresh["spec"], "spec", diffs)
+    _diff(payload["artifact"], fresh["artifact"], "artifact", diffs)
+    assert not diffs, (
+        f"{fixture_path.name} diverged from the golden trace "
+        f"({len(diffs)} field(s)):\n  " + "\n  ".join(diffs[:40]) + "\n"
+        "If this change is intentional, regenerate with "
+        "`PYTHONPATH=src python scripts/regen_golden.py` and commit the "
+        "fixture diff."
+    )

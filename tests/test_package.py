@@ -78,10 +78,12 @@ DOCTEST_MODULES = [
     "repro.qubo.sparse",
     "repro.qubo.delta",
     "repro.qhd.engine",
+    "repro.qhd.pool",
     "repro.solvers.base",
     "repro.api.config",
     "repro.api.registry",
     "repro.api.runner",
+    "repro.api.session",
     "repro.api.spec",
     "repro.hamiltonian.grid",
     "repro.hamiltonian.schedules",
