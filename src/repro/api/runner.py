@@ -193,6 +193,93 @@ def _solve_one(
     )
 
 
+# ----------------------------------------------------------------------
+# Process-pool worker plumbing (the wire format of executor="process")
+# ----------------------------------------------------------------------
+def _encode_input(item: Any) -> tuple[str, Any]:
+    """Lower one batch input to its ``(tag, payload)`` wire form.
+
+    Graphs ship as :meth:`repro.graphs.Graph.to_arrays` tuples and QUBO
+    models as :meth:`to_arrays` bundles — plain numpy buffers, never
+    pickled object graphs, so the per-task handoff cost is the raw
+    array bytes.  Anything else (e.g. a custom :class:`BaseQubo`
+    subclass without ``to_arrays``) falls back to ordinary pickling.
+    """
+    from repro.graphs.graph import Graph
+
+    if isinstance(item, Graph):
+        return ("graph", item.to_arrays())
+    to_arrays = getattr(item, "to_arrays", None)
+    if callable(to_arrays):
+        return ("qubo", to_arrays())
+    return ("object", item)
+
+
+def _decode_input(tag: str, payload: Any) -> Any:
+    """Worker-side inverse of :func:`_encode_input` (bit-exact)."""
+    if tag == "graph":
+        from repro.graphs.graph import Graph
+
+        return Graph.from_arrays(*payload)
+    if tag == "qubo":
+        from repro.qubo import model_from_arrays
+
+        return model_from_arrays(payload)
+    return payload
+
+
+def _worker_initializer(
+    pooling: bool, max_idle_engines: int, max_idle_total: int
+) -> None:
+    """Process-pool initializer: build this worker's engine pool once.
+
+    Runs in each worker process before it takes its first task; every
+    chunk the worker executes afterwards leases engines from the same
+    process-local pool (:func:`repro.qhd.pool.process_pool`), so
+    same-shape runs amortise engine setup within the worker exactly as
+    thread-mode runs do through the session pool.
+    """
+    from repro.qhd import pool as qhd_pool
+
+    qhd_pool.init_process_pool(
+        max_idle_per_key=max_idle_engines,
+        max_idle_total=max_idle_total,
+        enabled=pooling,
+    )
+
+
+def _run_chunk(
+    kind: str,
+    spec_dict: dict[str, Any],
+    chunk: list[tuple[int, tuple[str, Any]]],
+) -> tuple[list[tuple[int, "RunArtifact"]], dict[str, float] | None]:
+    """Process-pool task: run one chunk of encoded inputs sequentially.
+
+    ``chunk`` is a list of ``(index, (tag, payload))`` pairs carrying
+    each input's position in the original batch, so the parent can
+    reassemble results in order regardless of which worker ran which
+    chunk.  Returns the indexed artifacts plus the worker pool's
+    counter delta for this chunk (merged into the parent session's pool
+    counters), or ``None`` when pooling is disabled.
+    """
+    from repro.qhd import pool as qhd_pool
+
+    pool = qhd_pool.process_pool()
+    spec = RunSpec.from_dict(spec_dict)
+    run_one = _detect_one if kind == "detect" else _solve_one
+    before = pool.counter_snapshot() if pool is not None else None
+    results = []
+    for index, (tag, payload) in chunk:
+        item = _decode_input(tag, payload)
+        results.append((index, run_one(item, spec, index, engine_pool=pool)))
+    delta = (
+        EnginePool.counter_delta(before, pool.counter_snapshot())
+        if pool is not None
+        else None
+    )
+    return results, delta
+
+
 def _session():
     """The process-wide default :class:`repro.api.Session`.
 

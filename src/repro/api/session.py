@@ -1,26 +1,40 @@
-"""Reusable run sessions: pooled engines + a persistent thread pool.
+"""Reusable run sessions: pooled engines + persistent worker executors.
 
 A :class:`Session` is the service-shaped counterpart of the one-shot
-:func:`repro.api.detect` / :func:`repro.api.solve` verbs.  It owns two
-pieces of reusable runtime state:
+:func:`repro.api.detect` / :func:`repro.api.solve` verbs.  It owns the
+reusable runtime state:
 
 * an :class:`repro.qhd.pool.EnginePool` — every QHD solver built by the
   session leases its evolution engine (phase tables + workspace
   buffers) from the pool instead of constructing one, so repeated runs
   and same-shape batches amortise the whole-run precomputation;
-* a persistent :class:`~concurrent.futures.ThreadPoolExecutor` — batch
-  fan-outs reuse one set of worker threads instead of building and
-  tearing down a pool per call.
+* a persistent batch executor — ``executor="thread"`` (the default)
+  fans batches out over one long-lived
+  :class:`~concurrent.futures.ThreadPoolExecutor`;
+  ``executor="process"`` shards them over a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers each
+  own a lazily built process-local engine pool, so CPU-bound batches
+  scale with cores instead of contending for one GIL.
+  ``executor="auto"`` picks processes on multi-core machines.
 
-Determinism is unchanged: every run still gets its own freshly built,
-identically-seeded pipeline, and pooled engines are rebound and fully
-re-initialised per lease, so session runs are bit-identical to one-shot
-runs (pinned by ``tests/api/test_session.py``, including the
-concurrent-lease case).
+Process-mode handoff is array-native: graphs ship as
+:meth:`repro.graphs.Graph.to_arrays` tuples and QUBO models as
+``to_arrays()`` bundles (see :mod:`repro.api.runner`), never pickled
+object graphs.  Batches are sharded into ``~4 × workers`` contiguous
+chunks pulled from the executor's shared queue, so a straggling chunk
+cannot serialise the tail; results are reassembled in input order.
+
+Determinism is unchanged by any of this: every run still gets its own
+freshly built, identically-seeded pipeline, so **batch ≡ sequence of
+seeded single runs, bit-exact, for every executor and any chunking**
+(pinned by ``tests/api/test_session.py`` and
+``tests/api/test_executors.py``).
 
 The module-level facade verbs delegate to a process-wide
 :func:`default_session`, so plain ``api.detect_batch(...)`` calls
-amortise engine setup automatically.
+amortise engine setup automatically.  An :mod:`atexit` hook closes the
+default session on interpreter exit, shutting down its executors (with
+a process pool this is what reaps the worker processes).
 
 Examples
 --------
@@ -36,15 +50,32 @@ Examples
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import Any, Sequence
 
 from repro.api import runner
+from repro.api.config import Configurable
 from repro.api.spec import RunArtifact
 from repro.exceptions import ReproError
 from repro.qhd.pool import EnginePool
+
+#: Batch fan-outs are sharded into up to this many chunks per worker.
+#: More chunks than workers is what makes the shared submission queue a
+#: work-stealing structure: a worker that finishes early pulls the next
+#: chunk instead of idling behind a straggler.
+CHUNKS_PER_WORKER = 4
+
+_EXECUTORS = ("thread", "process", "auto")
 
 
 class SessionError(ReproError):
@@ -55,23 +86,54 @@ def _default_width() -> int:
     return min(8, os.cpu_count() or 1)
 
 
-class Session:
+def _mp_context():
+    """The multiprocessing context for worker pools (fork when available).
+
+    Fork keeps worker start-up cheap and inherits the already-imported
+    library; platforms without it (Windows, macOS spawn-default Pythons
+    still expose fork=no) fall back to the platform default — every
+    worker entry point is a module-level function with array payloads,
+    so spawn works too, just with a slower first batch.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class Session(Configurable):
     """A reusable run context amortising per-run setup across calls.
 
     Parameters
     ----------
     max_workers:
-        Width of the session's persistent thread pool (and the default
+        Width of the session's persistent executor (and the default
         fan-out of :meth:`detect_batch` / :meth:`solve_batch`).
-        ``None`` sizes it to ``min(8, cpu_count)``.
+        ``None`` sizes it to ``min(8, cpu_count)``.  Requests for a
+        *wider* per-call fan-out are clamped to this width with a
+        :class:`RuntimeWarning` (the executor is sized once per
+        session); narrower requests are honoured exactly.
     max_idle_engines:
         Idle evolution engines kept per distinct run shape in the
         session's engine pool (see
-        :class:`repro.qhd.pool.EnginePool`).
+        :class:`repro.qhd.pool.EnginePool`).  In process mode each
+        worker's pool uses the same cap.
     pooling:
         ``False`` disables engine pooling entirely — every run
         constructs fresh engines, exactly like the pre-session code
         path.  Useful for A/B benchmarking the pool itself.
+    executor:
+        ``"thread"`` (default) fans batches out over a persistent
+        thread pool; ``"process"`` shards them over a persistent
+        process pool with per-worker engine pools and array-native
+        input handoff; ``"auto"`` resolves to ``"process"`` on
+        multi-core machines and ``"thread"`` otherwise.  Single
+        :meth:`detect` / :meth:`solve` calls always run in-process —
+        the knob only shapes batch fan-out, never results.
+
+    Like every other knob in the library, the constructor parameters
+    round-trip through :meth:`Configurable.to_config` /
+    :meth:`Configurable.from_config`, so one JSON dict reproduces a
+    configured session.
 
     Examples
     --------
@@ -85,6 +147,10 @@ class Session:
     >>> bool((a.result.labels == b.result.labels).all())
     True
     >>> session.close()
+    >>> api.Session.from_config(
+    ...     {"executor": "process", "max_workers": 2}).to_config()[
+    ...     "executor"]
+    'process'
     """
 
     def __init__(
@@ -92,18 +158,35 @@ class Session:
         max_workers: int | None = None,
         max_idle_engines: int = 4,
         pooling: bool = True,
+        executor: str = "thread",
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise SessionError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if executor not in _EXECUTORS:
+            raise SessionError(
+                f"executor must be one of {list(_EXECUTORS)}, "
+                f"got {executor!r}"
+            )
         self._max_workers = (
             _default_width() if max_workers is None else int(max_workers)
         )
-        self._engine_pool = (
-            EnginePool(max_idle_per_key=max_idle_engines) if pooling else None
+        self._max_idle_engines = int(max_idle_engines)
+        self._pooling = bool(pooling)
+        self._executor = executor
+        self._backend = (
+            ("process" if (os.cpu_count() or 1) > 1 else "thread")
+            if executor == "auto"
+            else executor
         )
-        self._executor: ThreadPoolExecutor | None = None
+        self._engine_pool = (
+            EnginePool(max_idle_per_key=self._max_idle_engines)
+            if pooling
+            else None
+        )
+        self._thread_executor: ThreadPoolExecutor | None = None
+        self._process_executor: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         self._closed = False
         self._runs = 0
@@ -113,13 +196,23 @@ class Session:
     # ------------------------------------------------------------------
     @property
     def engine_pool(self) -> EnginePool | None:
-        """The session's engine pool (``None`` when pooling is off)."""
+        """The session's engine pool (``None`` when pooling is off).
+
+        In process mode this parent pool serves single :meth:`detect` /
+        :meth:`solve` calls and accumulates the per-worker pools'
+        counters, merged back after every batch chunk.
+        """
         return self._engine_pool
 
     @property
     def max_workers(self) -> int:
-        """Width of the persistent thread pool."""
+        """Width of the persistent executor."""
         return self._max_workers
+
+    @property
+    def executor_backend(self) -> str:
+        """The resolved batch backend: ``"thread"`` or ``"process"``."""
+        return self._backend
 
     @property
     def closed(self) -> bool:
@@ -127,12 +220,17 @@ class Session:
         return self._closed
 
     def stats(self) -> dict[str, Any]:
-        """Run counters plus the engine pool's counters (JSON-ready)."""
+        """Run counters plus the engine pool's counters (JSON-ready).
+
+        In process mode the pool counters include the per-worker pools'
+        work, merged back chunk by chunk.
+        """
         with self._lock:
             runs = self._runs
         return {
             "runs": runs,
             "max_workers": self._max_workers,
+            "executor": self._backend,
             "engine_pool": (
                 None
                 if self._engine_pool is None
@@ -141,17 +239,25 @@ class Session:
         }
 
     def close(self) -> None:
-        """Shut the thread pool down and drop every idle engine.
+        """Shut the executors down and drop every idle engine.
 
+        In process mode this terminates the worker processes.
         Idempotent; further run calls raise :class:`SessionError`.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+            thread_executor, self._thread_executor = (
+                self._thread_executor, None,
+            )
+            process_executor, self._process_executor = (
+                self._process_executor, None,
+            )
+        if thread_executor is not None:
+            thread_executor.shutdown(wait=True)
+        if process_executor is not None:
+            process_executor.shutdown(wait=True)
         if self._engine_pool is not None:
             self._engine_pool.clear()
 
@@ -165,6 +271,7 @@ class Session:
         state = "closed" if self._closed else "open"
         return (
             f"Session(max_workers={self._max_workers}, "
+            f"executor={self._backend!r}, "
             f"pooling={self._engine_pool is not None}, {state})"
         )
 
@@ -198,13 +305,12 @@ class Session:
         """Fan one detection spec over many graphs, order-preserving.
 
         Every graph gets its own freshly built, identically-seeded
-        detector (batch ≡ sequence of single runs); the session's
-        engine pool lets same-shape runs share evolution engines and
-        its persistent thread pool absorbs the fan-out.
+        detector (batch ≡ sequence of single runs, bit-exact, for every
+        executor and any chunking).  ``max_workers`` above the
+        session's width is clamped to it with a warning; narrower
+        requests are honoured exactly.
         """
-        return self._run_batch(
-            runner._detect_one, graphs, spec, max_workers
-        )
+        return self._run_batch("detect", graphs, spec, max_workers)
 
     def solve_batch(
         self,
@@ -217,11 +323,9 @@ class Session:
         The solve-side counterpart of :meth:`detect_batch`: each model
         gets a freshly built, identically-seeded solver, so the batch
         reproduces the corresponding sequence of single :meth:`solve`
-        calls for any worker count.
+        calls for any worker count and either executor backend.
         """
-        return self._run_batch(
-            runner._solve_one, models, spec, max_workers
-        )
+        return self._run_batch("solve", models, spec, max_workers)
 
     # ------------------------------------------------------------------
     # Internals
@@ -234,47 +338,85 @@ class Session:
         with self._lock:
             self._runs += n
 
-    def _ensure_executor(self) -> ThreadPoolExecutor:
+    def _ensure_thread_executor(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._closed:
                 raise SessionError("session is closed")
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
+            if self._thread_executor is None:
+                self._thread_executor = ThreadPoolExecutor(
                     max_workers=self._max_workers,
                     thread_name_prefix="repro-session",
                 )
-            return self._executor
+            return self._thread_executor
 
-    def _run_batch(self, run_one, inputs, spec, max_workers) -> list:
+    def _ensure_process_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise SessionError("session is closed")
+            if self._process_executor is None:
+                self._process_executor = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=_mp_context(),
+                    initializer=runner._worker_initializer,
+                    initargs=(self._pooling, self._max_idle_engines, 16),
+                )
+            return self._process_executor
+
+    def _resolve_width(self, max_workers: int | None, n_inputs: int) -> int:
+        """Clamp a per-call width request to the session's executor.
+
+        The persistent executor is sized once per session, so a *wider*
+        request cannot be honoured; mirroring ``build_solver``'s
+        warn-don't-drop policy it is clamped to the session width with
+        a :class:`RuntimeWarning` rather than silently ignored.
+        Narrower requests are honoured exactly.
+        """
+        width = self._max_workers if max_workers is None else int(max_workers)
+        if width > self._max_workers:
+            warnings.warn(
+                f"max_workers={width} exceeds this session's executor "
+                f"width ({self._max_workers}); clamping to "
+                f"{self._max_workers}.  Build the session with "
+                f"Session(max_workers={width}) to get a wider executor",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            width = self._max_workers
+        return max(1, min(width, n_inputs or 1))
+
+    def _run_batch(self, kind, inputs, spec, max_workers) -> list:
         self._check_open()
         spec = runner._spec_of(spec)
         inputs = list(inputs)
-        width = self._max_workers if max_workers is None else max_workers
-        width = max(1, min(int(width), len(inputs) or 1))
+        width = self._resolve_width(max_workers, len(inputs))
+        run_one = runner._detect_one if kind == "detect" else runner._solve_one
         pool = self._engine_pool
         if width <= 1 or len(inputs) <= 1:
             results = [
                 run_one(item, spec, index, engine_pool=pool)
                 for index, item in enumerate(inputs)
             ]
-            self._count(len(results))
-            return results
-        # The persistent executor is sized once per session.  A
-        # narrower request is honoured with a semaphore bounding
-        # concurrent runs; a *wider* one gets a temporary pool for the
-        # call so the requested width is honoured exactly (results are
-        # deterministic either way — this only shapes throughput).
-        temporary = None
-        gate = None
-        if width > self._max_workers:
-            temporary = ThreadPoolExecutor(
-                max_workers=width, thread_name_prefix="repro-batch"
-            )
-            executor = temporary
+        elif self._backend == "process":
+            results = self._run_batch_processes(kind, inputs, spec, width)
         else:
-            executor = self._ensure_executor()
-            if width < self._max_workers:
-                gate = threading.BoundedSemaphore(width)
+            results = self._run_batch_threads(run_one, inputs, spec, width)
+        self._count(len(results))
+        return results
+
+    def _run_batch_threads(self, run_one, inputs, spec, width) -> list:
+        """Thread fan-out over the persistent pool.
+
+        A narrower per-call width is honoured with a semaphore bounding
+        concurrent runs (determinism is unaffected either way — this
+        only shapes throughput).
+        """
+        executor = self._ensure_thread_executor()
+        pool = self._engine_pool
+        gate = (
+            threading.BoundedSemaphore(width)
+            if width < self._max_workers
+            else None
+        )
 
         def task(item, index):
             if gate is None:
@@ -282,16 +424,61 @@ class Session:
             with gate:
                 return run_one(item, spec, index, engine_pool=pool)
 
-        try:
-            futures = [
-                executor.submit(task, item, index)
-                for index, item in enumerate(inputs)
-            ]
-            results = [future.result() for future in futures]
-        finally:
-            if temporary is not None:
-                temporary.shutdown(wait=True)
-        self._count(len(results))
+        futures = [
+            executor.submit(task, item, index)
+            for index, item in enumerate(inputs)
+        ]
+        return [future.result() for future in futures]
+
+    def _run_batch_processes(self, kind, inputs, spec, width) -> list:
+        """Chunked, order-preserving fan-out over the process pool.
+
+        Inputs are lowered to their array wire form
+        (:func:`repro.api.runner._encode_input`), sharded into up to
+        ``CHUNKS_PER_WORKER × width`` contiguous chunks and submitted
+        with at most ``width`` chunks in flight — the executor's shared
+        queue hands the next chunk to whichever worker frees up first,
+        so a straggler only delays its own chunk, not the tail.  Worker
+        pool counters ride back with each chunk and are merged into the
+        session pool's counters.
+        """
+        executor = self._ensure_process_executor()
+        spec_dict = spec.to_dict()
+        encoded = [runner._encode_input(item) for item in inputs]
+        n = len(inputs)
+        n_chunks = min(n, width * CHUNKS_PER_WORKER)
+        base, extra = divmod(n, n_chunks)
+        chunks = []
+        start = 0
+        for chunk_index in range(n_chunks):
+            size = base + (1 if chunk_index < extra else 0)
+            chunks.append(
+                [(i, encoded[i]) for i in range(start, start + size)]
+            )
+            start += size
+
+        results: list[Any] = [None] * n
+        pending = iter(chunks)
+        in_flight = set()
+
+        def submit_next() -> None:
+            chunk = next(pending, None)
+            if chunk is not None:
+                in_flight.add(
+                    executor.submit(runner._run_chunk, kind, spec_dict, chunk)
+                )
+
+        for _ in range(min(width, n_chunks)):
+            submit_next()
+        while in_flight:
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk_results, delta = future.result()
+                for index, artifact in chunk_results:
+                    results[index] = artifact
+                if delta is not None and self._engine_pool is not None:
+                    self._engine_pool.merge_counters(delta)
+                submit_next()
         return results
 
 
@@ -308,7 +495,10 @@ def default_session() -> Session:
     Backs the module-level :func:`repro.api.detect` /
     :func:`repro.api.solve` / :func:`repro.api.detect_batch` /
     :func:`repro.api.solve_batch` verbs, so plain facade calls amortise
-    engine setup and thread-pool spin-up without any session plumbing.
+    engine setup and executor spin-up without any session plumbing.
+    It is closed automatically on interpreter exit (an :mod:`atexit`
+    hook), which shuts its executors down — with a process-pool
+    backend that is what reaps the worker processes.
 
     Examples
     --------
@@ -321,3 +511,21 @@ def default_session() -> Session:
         if _default_session is None or _default_session.closed:
             _default_session = Session()
         return _default_session
+
+
+def _close_default_session() -> None:
+    """Close the process-wide default session (idempotent).
+
+    Registered with :mod:`atexit` so a plain-facade process never leaks
+    its executors: thread pools are joined and, when a process backend
+    was used, the worker processes are shut down instead of lingering
+    until the OS reaps them.
+    """
+    global _default_session
+    with _default_lock:
+        session, _default_session = _default_session, None
+    if session is not None:
+        session.close()
+
+
+atexit.register(_close_default_session)

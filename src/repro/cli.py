@@ -157,17 +157,27 @@ def _merge_spec_overrides(spec, args: argparse.Namespace):
     return spec
 
 
-def _detect_repeated(api, graph, spec, repeats: int):
+def _detect_repeated(
+    api,
+    graph,
+    spec,
+    repeats: int,
+    executor: str = "thread",
+    max_workers: int | None = None,
+):
     """Run ``spec`` ``repeats`` times through one reusable session.
 
-    Demonstrates (and exercises) the engine-pool amortisation path from
-    the CLI: after the first run, identically-shaped QHD runs lease
-    cached evolution engines instead of rebuilding phase tables and
-    workspace buffers, so per-run wall time drops.  Seeded runs are
-    bit-identical, so only the last artifact is kept.
+    Demonstrates (and exercises) the session runtime from the CLI: the
+    repeats go through :meth:`repro.api.Session.detect_batch`, so
+    ``--executor``/``--max-workers`` pick the backend (persistent
+    thread pool, or a process pool with per-worker engine pools) and
+    same-shape QHD runs lease cached evolution engines instead of
+    rebuilding phase tables and workspace buffers.  Seeded runs are
+    bit-identical for every executor, so only the last artifact is
+    kept.
     """
-    with api.Session() as session:
-        artifacts = [session.detect(graph, spec) for _ in range(repeats)]
+    with api.Session(max_workers=max_workers, executor=executor) as session:
+        artifacts = session.detect_batch([graph] * repeats, spec)
         stats = session.stats()
     reference = artifacts[0].result.labels
     if spec.seed is not None:
@@ -177,6 +187,10 @@ def _detect_repeated(api, graph, spec, repeats: int):
                     "seeded repeat runs diverged — this is a bug, "
                     "please report it"
                 )
+    print(
+        f"executor:     {stats['executor']} "
+        f"({stats['max_workers']} workers)"
+    )
     print(f"repeat runs:  {repeats}")
     for number, artifact in enumerate(artifacts, start=1):
         timings = artifact.timings
@@ -240,7 +254,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
     try:
         if args.repeat > 1:
-            artifact = _detect_repeated(api, graph, spec, args.repeat)
+            artifact = _detect_repeated(
+                api,
+                graph,
+                spec,
+                args.repeat,
+                executor=args.executor,
+                max_workers=args.max_workers,
+            )
         else:
             artifact = api.detect(graph, spec)
     except (api.RegistryError, api.SpecError, api.ConfigError) as error:
@@ -357,6 +378,26 @@ def build_parser() -> argparse.ArgumentParser:
             "run the spec this many times through one reusable session "
             "(pooled QHD engines; prints per-run timings) and report "
             "the last run"
+        ),
+    )
+    detect.add_argument(
+        "--executor",
+        choices=("thread", "process", "auto"),
+        default="thread",
+        help=(
+            "session batch backend for --repeat runs: 'thread' (one "
+            "persistent thread pool), 'process' (process pool with "
+            "per-worker engine pools), or 'auto' (processes on "
+            "multi-core machines)"
+        ),
+    )
+    detect.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help=(
+            "session executor width for --repeat runs "
+            "(default: min(8, cpu_count))"
         ),
     )
     detect.add_argument("--weighted", action="store_true")

@@ -347,6 +347,19 @@ class Graph:
             arrays.append(view)
         return tuple(arrays)  # type: ignore[return-value]
 
+    def to_arrays(self) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """``(n_nodes, edge_u, edge_v, edge_w)`` — the wire form of a graph.
+
+        ``Graph.from_arrays(*graph.to_arrays())`` reconstructs an equal
+        graph: the returned arrays are already canonical (``u <= v``,
+        duplicates merged, sorted), so the rebuild's canonicalisation
+        pass is a stable no-op.  This is how
+        ``Session(executor="process")`` ships graphs to worker
+        processes — raw numpy buffers, never a pickled object graph.
+        """
+        u, v, w = self.edge_arrays()
+        return (self._n, u, v, w)
+
     def neighbors(self, node: int) -> np.ndarray:
         """Neighbour ids of ``node``, sorted ascending (self included
         for self-loops)."""

@@ -293,6 +293,43 @@ class EnginePool:
                 "setup_seconds": self._setup_seconds,
             }
 
+    def counter_snapshot(self) -> dict[str, float]:
+        """The pool's *cumulative* counters only (no instantaneous state).
+
+        Unlike :meth:`stats` this excludes ``leased``/``idle``/``keys``,
+        which describe the current moment rather than accumulated work —
+        the subset that is meaningful to diff (:func:`counter_delta`)
+        and merge across pools (:meth:`merge_counters`).
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "discarded": self._discarded,
+                "setup_seconds": self._setup_seconds,
+            }
+
+    @staticmethod
+    def counter_delta(
+        before: dict[str, float], after: dict[str, float]
+    ) -> dict[str, float]:
+        """Counter work done between two :meth:`counter_snapshot` calls."""
+        return {key: after[key] - before[key] for key in after}
+
+    def merge_counters(self, delta: dict[str, float]) -> None:
+        """Fold another pool's counter delta into this pool's counters.
+
+        This is how ``Session(executor="process")`` aggregates the
+        per-worker pools back into the parent: each worker task ships
+        the :func:`counter_delta` of the work it did, and the parent's
+        pool counters stay the single place batch reports read.
+        """
+        with self._lock:
+            self._hits += int(delta.get("hits", 0))
+            self._misses += int(delta.get("misses", 0))
+            self._discarded += int(delta.get("discarded", 0))
+            self._setup_seconds += float(delta.get("setup_seconds", 0.0))
+
     def clear(self) -> None:
         """Drop every idle engine (leased engines are unaffected)."""
         with self._lock:
@@ -308,6 +345,46 @@ class EnginePool:
             f"EnginePool(keys={stats['keys']}, idle={stats['idle']}, "
             f"hits={stats['hits']}, misses={stats['misses']})"
         )
+
+
+# ----------------------------------------------------------------------
+# The process-local pool of executor worker processes
+# ----------------------------------------------------------------------
+#: The worker-process default pool, built once per worker by
+#: :func:`init_process_pool` (the ``ProcessPoolExecutor`` initializer of
+#: ``Session(executor="process")``) and reused across every task the
+#: worker executes.  ``None`` until initialised, or when pooling is
+#: disabled for the session.
+_process_pool: EnginePool | None = None
+
+
+def init_process_pool(
+    max_idle_per_key: int = 4,
+    max_idle_total: int = 16,
+    enabled: bool = True,
+) -> None:
+    """Build (or disable) this process's worker-local engine pool.
+
+    Called once per worker process by the process-pool executor's
+    initializer; tasks then share the pool via :func:`process_pool`, so
+    same-shape runs landing on the same worker amortise engine setup
+    exactly like thread-mode runs amortise it through the session pool.
+    Re-initialising replaces the pool (used by tests).
+    """
+    global _process_pool
+    _process_pool = (
+        EnginePool(
+            max_idle_per_key=max_idle_per_key,
+            max_idle_total=max_idle_total,
+        )
+        if enabled
+        else None
+    )
+
+
+def process_pool() -> EnginePool | None:
+    """This worker process's engine pool (``None`` when pooling is off)."""
+    return _process_pool
 
 
 #: Attributes walked by :func:`attach_engine_pool` to reach nested
@@ -383,5 +460,7 @@ __all__: Iterable[str] = [
     "EnginePool",
     "attach_engine_pool",
     "engine_key",
+    "init_process_pool",
+    "process_pool",
     "schedule_key",
 ]

@@ -33,7 +33,7 @@ and fields are directly comparable across backends.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -260,6 +260,55 @@ class QuboModel(BaseQubo):
             + float(self._effective_linear[index])
         )
         return (1.0 - 2.0 * vec[index]) * field
+
+    # ------------------------------------------------------------------
+    # Array serialisation (process-pool wire format)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, Any]:
+        """Canonical-array bundle for cheap cross-process handoff.
+
+        Returns a dict of plain numpy arrays and scalars (no object
+        graphs) that :meth:`from_arrays` reconstructs bit-exactly.  This
+        is the wire format of ``Session(executor="process")`` batches:
+        the canonical internal arrays ship as raw buffers instead of a
+        pickled object graph, and reconstruction skips every
+        canonicalisation pass.
+
+        Examples
+        --------
+        >>> model = QuboModel([[0.0, -2.0], [0.0, 0.0]], [1.0, 1.0])
+        >>> clone = QuboModel.from_arrays(model.to_arrays())
+        >>> clone.evaluate([1, 1]) == model.evaluate([1, 1])
+        True
+        """
+        return {
+            "kind": "dense",
+            "coupling": self._coupling,
+            "effective_linear": self._effective_linear,
+            "offset": self._offset,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, Any]) -> "QuboModel":
+        """Rebuild a model from a :meth:`to_arrays` bundle, bit-exactly.
+
+        The bundle's arrays are trusted to be canonical (symmetric
+        zero-diagonal coupling, diagonal already folded into the
+        effective linear term), so no validation or canonicalisation is
+        re-run — the round-trip is exact and O(1) beyond the array
+        copies the transport already made.
+        """
+        if arrays.get("kind") != "dense":
+            raise QuboError(
+                f"expected a 'dense' array bundle, got {arrays.get('kind')!r}"
+            )
+        model = cls.__new__(cls)
+        model._coupling = np.asarray(arrays["coupling"], dtype=np.float64)
+        model._effective_linear = np.asarray(
+            arrays["effective_linear"], dtype=np.float64
+        )
+        model._offset = float(arrays["offset"])
+        return model
 
     # ------------------------------------------------------------------
     # Transformations
