@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Run the project-invariant static analysis over the library source.
+
+The pre-commit / CI entry point for ``repro.analysis``: lints ``src``
+(or the given paths) with every registered REP rule and exits non-zero
+on findings.  Equivalent to ``repro lint`` but runnable as a plain
+script before the package is installed::
+
+    PYTHONPATH=src python scripts/check_invariants.py
+    PYTHONPATH=src python scripts/check_invariants.py --json -o lint.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import LintEngine, load_config  # noqa: E402
+from repro.analysis.engine import render_json, render_text  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", default=None, help="paths to lint (default: src)"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        default=None,
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("-o", "--output", default=None)
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    paths = args.paths or [str(root / "src")]
+    config = load_config(root / "pyproject.toml")
+    findings = LintEngine(rules=args.rules, config=config).lint_paths(paths)
+    report = render_json(findings) if args.json else render_text(findings)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    elif report:
+        print(report)
+    if findings:
+        print(f"check_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Per-file and cross-file context handed to lint rules.
+
+The engine parses every file once, derives a :class:`ProjectContext`
+(which classes register into ``SOLVERS``/``DETECTORS``, and where) in a
+pre-pass, then runs each rule with a :class:`FileContext` combining the
+parsed tree, the raw source and that project-wide knowledge.  Shared
+AST helpers (dotted-name resolution, parent links, hot-path discovery)
+live here so the rules stay declarative.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+
+#: Registry objects whose ``.register("name")`` decorator marks a class
+#: as a plugin (the ``repro.api`` tables).
+_REGISTRY_NAMES = ("SOLVERS", "DETECTORS")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The ``a.b.c`` form of a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def parent_map(tree: ast.AST) -> dict[int, ast.AST]:
+    """Map ``id(child)`` -> parent node for every node in ``tree``."""
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def registered_by_decorator(cls: ast.ClassDef) -> bool:
+    """Whether ``cls`` carries a ``@SOLVERS/DETECTORS.register(...)``."""
+    for deco in cls.decorator_list:
+        if not (isinstance(deco, ast.Call) and isinstance(deco.func, ast.Attribute)):
+            continue
+        if deco.func.attr != "register":
+            continue
+        target = dotted_name(deco.func.value)
+        if target is not None and target.split(".")[-1] in _REGISTRY_NAMES:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """Cross-file facts collected before any rule runs.
+
+    Attributes
+    ----------
+    registered_classes:
+        Class name -> display paths of the modules defining (and
+        registering) it.
+    registering_files:
+        Display paths of modules that register at least one class —
+        the plugin layer, allowed to construct registered classes
+        directly (they wire default solvers into detectors).
+    """
+
+    registered_classes: dict[str, tuple[str, ...]] = field(
+        default_factory=dict
+    )
+    registering_files: frozenset[str] = frozenset()
+
+    @classmethod
+    def build(
+        cls, files: list[tuple[str, ast.AST]]
+    ) -> "ProjectContext":
+        """Collect registration facts from parsed ``(path, tree)`` pairs."""
+        registered: dict[str, list[str]] = {}
+        registering: set[str] = set()
+        for display_path, tree in files:
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef) and registered_by_decorator(
+                    node
+                ):
+                    registered.setdefault(node.name, []).append(display_path)
+                    registering.add(display_path)
+        return cls(
+            registered_classes={
+                name: tuple(paths) for name, paths in registered.items()
+            },
+            registering_files=frozenset(registering),
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule sees while checking one file."""
+
+    display_path: str
+    source: str
+    tree: ast.AST
+    config: LintConfig
+    project: ProjectContext
+    _parents: dict[int, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        """Lazily built child -> parent node map."""
+        if self._parents is None:
+            self._parents = parent_map(self.tree)
+        return self._parents
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The parent of ``node``, or ``None`` at module level."""
+        return self.parents.get(id(node))
+
+    def path_matches(self, fragments: tuple[str, ...]) -> bool:
+        """Whether this file's posix path contains/ends with a fragment."""
+        posix = Path(self.display_path).as_posix()
+        return any(
+            posix.endswith(fragment) or fragment in posix
+            for fragment in fragments
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path discovery (REP002)
+    # ------------------------------------------------------------------
+    def hot_functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Functions under allocation discipline in this file.
+
+        A function is hot when it carries the ``@hot_path`` decorator
+        (:func:`repro.analysis.markers.hot_path`) or its qualified name
+        (``Class.method`` or bare ``function``) appears in the config's
+        ``hot_functions`` list.
+        """
+        listed = set(self.config.hot_functions)
+        for node, qualname in _walk_functions(self.tree):
+            if qualname in listed or _has_hot_decorator(node):
+                yield node
+
+
+def _has_hot_decorator(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "hot_path":
+            return True
+    return False
+
+
+def _walk_functions(
+    tree: ast.AST, prefix: str = ""
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    """Yield ``(function node, qualified name)`` pairs, outer first."""
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{node.name}"
+            yield node, qualname
+            yield from _walk_functions(node, prefix=f"{qualname}.")
+        elif isinstance(node, ast.ClassDef):
+            yield from _walk_functions(node, prefix=f"{prefix}{node.name}.")
+        elif isinstance(node, (ast.If, ast.Try, ast.With)):
+            # Conditionally defined functions still count.
+            yield from _walk_functions(node, prefix=prefix)

@@ -1,0 +1,187 @@
+"""The lint engine: file collection, rule dispatch, reports.
+
+Orchestrates one run: collect ``*.py`` files from the given paths,
+parse each once, build the cross-file
+:class:`~repro.analysis.context.ProjectContext` (registration sites for
+REP003), run every enabled rule per file, drop findings silenced by
+``# repro: noqa`` comments and return the sorted, de-duplicated list.
+
+Stdlib-only by design — the gate must run in any environment the
+library imports in, including CI images without third-party linters.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import FileContext, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RULES, Rule
+from repro.analysis.suppressions import is_suppressed, suppressed_rules
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: dict[Path, None] = {}
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                seen.setdefault(file, None)
+        elif path.suffix == ".py" and path.exists():
+            seen.setdefault(path, None)
+        elif not path.exists():
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    return list(seen)
+
+
+class LintEngine:
+    """One configured analysis run over a set of files.
+
+    Parameters
+    ----------
+    rules:
+        Rule ids to run (default: every registered rule minus the
+        config's ``disable`` list).  Unknown ids raise
+        :class:`~repro.analysis.registry.LintRuleError`.
+    config:
+        Shared :class:`~repro.analysis.config.LintConfig`; defaults to
+        the package defaults (no ``pyproject.toml`` lookup — callers
+        wanting overrides pass ``load_config()`` explicitly).
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[str] | None = None,
+        config: LintConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else LintConfig()
+        if rules is None:
+            selected = [
+                rule_id
+                for rule_id in RULES.available()
+                if rule_id not in self.config.disable
+            ]
+        else:
+            selected = [rule_id for rule_id in rules]
+        self.rules: tuple[Rule, ...] = tuple(
+            RULES.create(rule_id) for rule_id in selected
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Sequence[str | Path]) -> list[Finding]:
+        """Lint every ``.py`` file under ``paths`` (files or dirs)."""
+        files = _collect_files(paths)
+        parsed: list[tuple[str, str, ast.AST]] = []
+        findings: list[Finding] = []
+        for file in files:
+            display = file.as_posix()
+            source = file.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=display)
+            except SyntaxError as error:
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=error.lineno or 1,
+                        col=error.offset or 0,
+                        rule="PARSE",
+                        message=f"file does not parse: {error.msg}",
+                    )
+                )
+                continue
+            parsed.append((display, source, tree))
+        project = ProjectContext.build(
+            [(display, tree) for display, _, tree in parsed]
+        )
+        for display, source, tree in parsed:
+            findings.extend(self._lint_parsed(display, source, tree, project))
+        return sorted(set(findings))
+
+    def lint_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        project: ProjectContext | None = None,
+    ) -> list[Finding]:
+        """Lint one in-memory module (fixtures, tests, doc snippets)."""
+        tree = ast.parse(source, filename=path)
+        if project is None:
+            project = ProjectContext.build([(path, tree)])
+        return sorted(set(self._lint_parsed(path, source, tree, project)))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lint_parsed(
+        self,
+        display: str,
+        source: str,
+        tree: ast.AST,
+        project: ProjectContext,
+    ) -> list[Finding]:
+        ctx = FileContext(
+            display_path=display,
+            source=source,
+            tree=tree,
+            config=self.config,
+            project=project,
+        )
+        table = suppressed_rules(source)
+        found: list[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                if not is_suppressed(table, finding.line, finding.rule):
+                    found.append(finding)
+        return found
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[str] | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Module-level convenience over :class:`LintEngine`.
+
+    Examples
+    --------
+    >>> from repro.analysis import lint_paths
+    >>> lint_paths(["src/repro/analysis"])
+    []
+    """
+    return LintEngine(rules=rules, config=config).lint_paths(paths)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[str] | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one source string (see :meth:`LintEngine.lint_source`)."""
+    return LintEngine(rules=rules, config=config).lint_source(
+        source, path=path
+    )
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """The human-readable report: one ``file:line:col RULE msg`` line."""
+    return "\n".join(finding.format() for finding in findings)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The JSON report (``{"findings": [...], "count": N}``)."""
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,49 @@
+"""Finding records and their text/JSON wire forms."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orders by ``(path, line, col, rule)`` so reports are stable across
+    runs and rule-execution order.
+
+    Examples
+    --------
+    >>> from repro.analysis.findings import Finding
+    >>> f = Finding("src/x.py", 3, 0, "REP004", "np.random.seed call")
+    >>> f.format()
+    'src/x.py:3:0 REP004 np.random.seed call'
+    >>> Finding.from_dict(f.to_dict()) == f
+    True
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line ``file:line:col RULE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )

@@ -1,0 +1,39 @@
+"""Source markers the static-analysis rules key off.
+
+Markers are deliberately runtime-inert: :func:`hot_path` returns its
+argument unchanged, so decorating a method costs nothing at call time.
+The linter reads the *syntax* — a ``@hot_path`` decorator puts the
+function under REP002's allocation discipline — and the decorator
+doubles as reviewer-facing documentation that the body is part of a
+declared hot loop.
+
+This module must stay import-trivial: it is imported by the hot modules
+themselves (``repro.qubo.delta``, ``repro.qhd.engine``), so it cannot
+pull in the rest of the analysis engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def hot_path(func: _F) -> _F:
+    """Declare ``func`` a zero-allocation hot path (REP002).
+
+    The decorated body is checked statically for fresh-array idioms:
+    numpy array constructors, out=-capable ufunc calls without ``out=``,
+    ``.astype()``/``.copy()`` and whole-buffer binary-op temporaries.
+    Runtime behaviour is unchanged.
+
+    Examples
+    --------
+    >>> from repro.analysis.markers import hot_path
+    >>> @hot_path
+    ... def step(x):
+    ...     return x
+    >>> step(3)
+    3
+    """
+    return func

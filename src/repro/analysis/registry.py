@@ -1,0 +1,139 @@
+"""Decorator-registered rule table, mirroring the ``repro.api`` idiom.
+
+Every rule class self-registers under its ``REPnnn`` id::
+
+    from repro.analysis.registry import RULES
+
+    @RULES.register("REP001")
+    class FlipDeltaInLoop(Rule):
+        ...
+
+so there is exactly one rule table — the CLI, the engine and the
+fixture meta-tests all resolve rule ids through :data:`RULES`, and
+unknown ids / duplicate registrations raise with the sorted list of
+known alternatives, exactly like ``repro.api.SOLVERS``.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.context import FileContext
+
+
+class LintRuleError(ReproError):
+    """Raised for unknown rule ids or conflicting registrations."""
+
+
+class Rule(ABC):
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`, yielding :class:`~repro.analysis.findings.Finding`
+    records for one parsed file.  Rules are stateless across files —
+    any cross-file knowledge comes in through the file's
+    :class:`~repro.analysis.context.ProjectContext`.
+    """
+
+    #: Public ``REPnnn`` identifier (set by the registering subclass).
+    rule_id: str = "REP000"
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+
+    @abstractmethod
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in ``ctx``'s file."""
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+class RuleRegistry:
+    """An id -> rule-class table with decorator registration."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, type[Rule]] = {}
+
+    def register(self, rule_id: str) -> Callable[[type[Rule]], type[Rule]]:
+        """Class decorator registering a rule under ``rule_id``."""
+
+        def decorate(cls: type[Rule]) -> type[Rule]:
+            existing = self._entries.get(rule_id)
+            if existing is not None and existing is not cls:
+                raise LintRuleError(
+                    f"duplicate rule registration {rule_id!r}: "
+                    f"{existing.__name__} is already registered"
+                )
+            cls.rule_id = rule_id
+            self._entries[rule_id] = cls
+            return cls
+
+        return decorate
+
+    def available(self) -> tuple[str, ...]:
+        """Sorted ids of every registered rule."""
+        self._ensure_populated()
+        return tuple(sorted(self._entries))
+
+    def get(self, rule_id: str) -> type[Rule]:
+        """The rule class registered under ``rule_id``."""
+        self._ensure_populated()
+        try:
+            return self._entries[rule_id]
+        except KeyError:
+            known = ", ".join(self.available()) or "<none>"
+            raise LintRuleError(
+                f"unknown rule {rule_id!r}; available: {known}"
+            ) from None
+
+    def create(self, rule_id: str) -> Rule:
+        """A fresh instance of the rule registered under ``rule_id``."""
+        return self.get(rule_id)()
+
+    def __contains__(self, rule_id: object) -> bool:
+        self._ensure_populated()
+        return rule_id in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def _ensure_populated(self) -> None:
+        # Lazy population, like repro.api's registries: importing the
+        # rules package triggers the @RULES.register decorators.  The
+        # import is idempotent and cheap (stdlib only), so no lock is
+        # needed — worst case two threads import an already-imported
+        # module.
+        if not self._entries:
+            import repro.analysis.rules  # noqa: F401
+
+
+RULES = RuleRegistry()
+"""All lint rules, by ``REPnnn`` id — the one rule table.
+
+Examples
+--------
+>>> from repro.analysis import RULES
+>>> "REP003" in RULES
+True
+>>> RULES.get("REP005").summary.startswith("wire/lock safety")
+True
+"""

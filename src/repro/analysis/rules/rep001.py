@@ -1,0 +1,58 @@
+"""REP001 — flip-delta discipline in sweep loops (PR 3 contract).
+
+Single-flip sweep loops must materialise a
+:class:`repro.qubo.delta.FlipDeltaState` once per trajectory (via
+``repro.solvers.base.flip_state`` / ``batch_flip_state``) and read O(1)
+deltas from it.  Calling ``model.flip_delta(...)`` or
+``model.flip_deltas(...)`` *inside* a loop reintroduces the O(nnz)
+mat-vec per iteration that PR 3 removed — bit-exactness tests cannot
+catch it (the values are identical), only the complexity regresses.
+
+The modules implementing the delta engine itself are exempt
+(``LintConfig.rep001_exempt``): their loops *are* the mechanism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RULES, Rule
+
+#: Model methods that recompute deltas from scratch.
+_BANNED_IN_LOOPS = frozenset(
+    {"flip_delta", "flip_deltas", "flip_delta_batch", "flip_deltas_batch"}
+)
+
+
+@RULES.register("REP001")
+class FlipDeltaInLoop(Rule):
+    """Flag full delta recomputation inside sweep loops."""
+
+    summary = (
+        "sweep loops must use flip_state/batch_flip_state, never "
+        "model.flip_delta(s) per iteration"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_matches(ctx.config.rep001_exempt):
+            return
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BANNED_IN_LOOPS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f".{node.func.attr}() called inside a loop; "
+                        f"materialise the trajectory once with "
+                        f"repro.solvers.base.flip_state/batch_flip_state "
+                        f"and read O(1) deltas from it",
+                    )

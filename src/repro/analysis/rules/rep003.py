@@ -1,0 +1,101 @@
+"""REP003 — registry discipline (PR 2 contract).
+
+``repro.api.SOLVERS``/``DETECTORS`` are the only name tables in the
+library: every consumer resolves solvers and detectors through
+``create(name, **cfg)`` so one JSON spec can describe any pipeline.
+Constructing a registered class directly — or maintaining a private
+``name -> class`` dict — forks that contract: the component stops
+honouring config round-trips and the CLI/spec layer can no longer see
+it.
+
+Allowed construction sites: the ``repro.api`` facade itself, tests,
+any path listed in ``LintConfig.rep003_allowed``, the module *defining*
+the class, and **registration sites** — modules that register at least
+one class themselves (the plugin layer wires default solvers into
+detectors there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RULES, Rule
+
+
+@RULES.register("REP003")
+class RegistryDiscipline(Rule):
+    """Flag direct construction of registered classes and name tables."""
+
+    summary = (
+        "registered solvers/detectors are built via SOLVERS/DETECTORS."
+        "create() outside repro.api, tests and registration sites; no "
+        "private name->class dicts"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        registered = ctx.project.registered_classes
+        if not registered:
+            return
+        if ctx.path_matches(ctx.config.rep003_allowed):
+            return
+        # Registration sites may construct what they register (wiring
+        # default solvers into detectors) but still must not keep
+        # private name tables.
+        registering = ctx.display_path in ctx.project.registering_files
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and not registering:
+                yield from self._check_call(ctx, node, registered)
+            elif isinstance(node, ast.Dict):
+                yield from self._check_dict(ctx, node, registered)
+
+    def _class_name(
+        self, node: ast.expr, registered: dict[str, tuple[str, ...]]
+    ) -> str | None:
+        name = dotted_name(node)
+        if name is None:
+            return None
+        leaf = name.split(".")[-1]
+        return leaf if leaf in registered else None
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        registered: dict[str, tuple[str, ...]],
+    ) -> Iterator[Finding]:
+        leaf = self._class_name(node.func, registered)
+        if leaf is None:
+            return
+        if ctx.display_path in registered[leaf]:
+            return  # the defining module may construct its own class
+        yield self.finding(
+            ctx,
+            node,
+            f"direct construction of registered class {leaf}(); build "
+            f"it through repro.api SOLVERS/DETECTORS.create() so config "
+            f"round-trips and spec files keep working",
+        )
+
+    def _check_dict(
+        self,
+        ctx: FileContext,
+        node: ast.Dict,
+        registered: dict[str, tuple[str, ...]],
+    ) -> Iterator[Finding]:
+        hits = [
+            leaf
+            for value in node.values
+            if value is not None
+            and (leaf := self._class_name(value, registered)) is not None
+        ]
+        if len(hits) >= 2:
+            yield self.finding(
+                ctx,
+                node,
+                f"private name->class table over registered classes "
+                f"({', '.join(sorted(set(hits)))}); resolve names "
+                f"through repro.api SOLVERS/DETECTORS instead",
+            )

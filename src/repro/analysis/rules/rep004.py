@@ -1,0 +1,134 @@
+"""REP004 — determinism discipline.
+
+Seeded runs are the backbone of the golden-trace harness and the
+batch ≡ sequential contracts: every random draw must flow through a
+``np.random.Generator`` passed in (or built from an explicit seed via
+``repro.utils.rng.ensure_rng``), and results must not depend on the
+wall clock.  Flagged in library code:
+
+* the legacy global-state numpy API (``np.random.seed``,
+  ``np.random.rand``, ``np.random.choice``, ...) — a hidden process
+  stream that ties results to import-and-call order;
+* the stdlib ``random`` module (same global stream problem);
+* wall-clock reads (``time.time``/``time_ns``, ``datetime.now`` /
+  ``utcnow`` / ``today``) — duration measurement via
+  ``time.perf_counter``/``monotonic``/``process_time`` stays allowed
+  (timing metadata does not feed results).
+
+``np.random.default_rng``, ``np.random.Generator``,
+``np.random.SeedSequence`` and the bit-generator classes are the
+sanctioned constructors and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RULES, Rule
+
+#: np.random attributes that are explicitly sanctioned.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "Generator", "default_rng", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+    }
+)
+
+#: Wall-clock attribute calls (dotted suffix -> why it is banned).
+_WALL_CLOCK = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+}
+
+
+@RULES.register("REP004")
+class Determinism(Rule):
+    """Flag hidden global RNG streams and wall-clock reads."""
+
+    summary = (
+        "no np.random globals, stdlib random or wall-clock reads in "
+        "library code; RNG flows as np.random.Generator parameters"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        random_aliases = self._stdlib_random_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            yield from self._check_call(ctx, node, name, random_aliases)
+
+    def _stdlib_random_aliases(self, tree: ast.AST) -> frozenset[str]:
+        """Local names bound to the stdlib ``random`` module."""
+        aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return frozenset(aliases)
+
+    def _check_import(
+        self, ctx: FileContext, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield self.finding(
+                ctx,
+                node,
+                "stdlib random draws from a hidden global stream; take "
+                "a np.random.Generator parameter instead "
+                "(repro.utils.rng.ensure_rng)",
+            )
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        name: str,
+        random_aliases: frozenset[str],
+    ) -> Iterator[Finding]:
+        parts = name.split(".")
+        # np.random.<draw> via the module-level legacy API.
+        if (
+            len(parts) >= 3
+            and parts[-3] in ("np", "numpy")
+            and parts[-2] == "random"
+            and parts[-1] not in _ALLOWED_NP_RANDOM
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"np.random.{parts[-1]}() uses the legacy global RNG "
+                f"stream; thread a np.random.Generator through instead",
+            )
+            return
+        # stdlib random module calls through any import alias.
+        if len(parts) == 2 and parts[0] in random_aliases:
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() draws from the stdlib global RNG stream; "
+                f"thread a np.random.Generator through instead",
+            )
+            return
+        # Wall-clock reads.
+        suffix = ".".join(parts[-2:])
+        if suffix in _WALL_CLOCK:
+            yield self.finding(
+                ctx,
+                node,
+                f"{suffix}() is a wall-clock read; results must not "
+                f"depend on absolute time (perf_counter/monotonic are "
+                f"fine for durations)",
+            )

@@ -1,0 +1,79 @@
+"""``# repro: noqa`` line suppressions.
+
+A violation is silenced by a comment on the *reported* line::
+
+    x = np.random.rand(3)          # repro: noqa [REP004]
+    y = time.time()                # repro: noqa          (all rules)
+    z = pickle.dumps(obj)          # repro: noqa [REP004, REP005]
+
+The brackets around the rule list are optional (``# repro: noqa
+REP004`` is equivalent).
+
+Suppressions are parsed with :mod:`tokenize` (not a substring match),
+so a ``repro: noqa`` inside a string literal does not suppress
+anything.  The engine reports suppressions that silence nothing when
+asked (``warn_unused``), keeping the escape hatch auditable.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\s*\[(?P<rules>\s*[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*\s*)\]"
+    r"|(?P<bare>(?:\s+[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)?))\s*$",
+    re.IGNORECASE,
+)
+
+
+def suppressed_rules(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules).
+
+    Examples
+    --------
+    >>> from repro.analysis.suppressions import suppressed_rules
+    >>> suppressed_rules("x = 1  # repro: noqa [REP004]\\n")
+    {1: frozenset({'REP004'})}
+    >>> suppressed_rules("x = 1  # repro: noqa REP004\\n")
+    {1: frozenset({'REP004'})}
+    >>> suppressed_rules("x = 1  # repro: noqa\\n")[1] is None
+    True
+    >>> suppressed_rules("x = '# repro: noqa'\\n")
+    {}
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(token.string)
+            if match is None:
+                continue
+            codes = (match.group("rules") or match.group("bare") or "").strip()
+            if codes:
+                table[token.start[0]] = frozenset(
+                    code.strip().upper()
+                    for code in codes.split(",")
+                    if code.strip()
+                )
+            else:
+                table[token.start[0]] = None
+    except tokenize.TokenError:
+        # Unterminated constructs: the file will fail ast.parse anyway
+        # and be reported as unparsable by the engine.
+        pass
+    return table
+
+
+def is_suppressed(
+    table: dict[int, frozenset[str] | None], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is silenced on ``line`` by ``table``."""
+    if line not in table:
+        return False
+    codes = table[line]
+    return codes is None or rule in codes

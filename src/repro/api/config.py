@@ -19,9 +19,11 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import math
-from typing import Any
+from typing import Any, TypeVar
 
 from repro.exceptions import ReproError
+
+_C = TypeVar("_C", bound="Configurable")
 
 
 class ConfigError(ReproError):
@@ -84,7 +86,9 @@ class Configurable:
         return config
 
     @classmethod
-    def from_config(cls, config: dict[str, Any] | None = None):
+    def from_config(
+        cls: type[_C], config: dict[str, Any] | None = None
+    ) -> _C:
         """Instantiate from a config dict, rejecting unknown keys.
 
         Examples

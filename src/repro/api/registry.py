@@ -126,7 +126,7 @@ class Registry:
                 f"unknown {self.kind} {name!r}; available: {known}"
             ) from None
 
-    def create(self, name: str, **config: Any):
+    def create(self, name: str, **config: Any) -> Any:
         """Instantiate the class registered under ``name``.
 
         ``config`` goes through the class's ``from_config``, so unknown
@@ -213,7 +213,7 @@ __test__ = {
 }
 
 
-def resolve_solver(value: Any):
+def resolve_solver(value: Any) -> Any:
     """Normalise a solver reference into a solver instance (or ``None``).
 
     Accepts ``None`` (pass through), an already-built solver instance, a

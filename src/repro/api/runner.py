@@ -22,7 +22,10 @@ per-run execution core.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from repro.api.session import Session
 
 from repro.api.registry import DETECTORS, SOLVERS, Registry
 from repro.api.spec import RunArtifact, RunSpec, SpecError
@@ -44,7 +47,12 @@ def _spec_of(spec: RunSpec | dict[str, Any] | str) -> RunSpec:
     )
 
 
-def _build(registry: Registry, name: str, config: dict[str, Any], **overrides):
+def _build(
+    registry: Registry,
+    name: str,
+    config: dict[str, Any],
+    **overrides: Any,
+) -> Any:
     """Create ``name`` from ``registry``, applying supported overrides.
 
     Overrides (``seed``, ``time_limit``, ...) are threaded into the
@@ -280,7 +288,7 @@ def _run_chunk(
     return results, delta
 
 
-def _session():
+def _session() -> Session:
     """The process-wide default :class:`repro.api.Session`.
 
     Imported lazily to break the import cycle: ``repro.api.session``

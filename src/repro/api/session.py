@@ -61,7 +61,8 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from typing import Any, Sequence
+from types import TracebackType
+from typing import Any, Callable, Sequence
 
 from repro.api import runner
 from repro.api.config import Configurable
@@ -86,7 +87,7 @@ def _default_width() -> int:
     return min(8, os.cpu_count() or 1)
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext | None:
     """The multiprocessing context for worker pools (fork when available).
 
     Fork keeps worker start-up cheap and inherits the already-imported
@@ -264,7 +265,12 @@ class Session(Configurable):
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -384,7 +390,13 @@ class Session(Configurable):
             width = self._max_workers
         return max(1, min(width, n_inputs or 1))
 
-    def _run_batch(self, kind, inputs, spec, max_workers) -> list:
+    def _run_batch(
+        self,
+        kind: str,
+        inputs: Sequence[Any],
+        spec: Any,
+        max_workers: int | None,
+    ) -> list:
         self._check_open()
         spec = runner._spec_of(spec)
         inputs = list(inputs)
@@ -403,7 +415,13 @@ class Session(Configurable):
         self._count(len(results))
         return results
 
-    def _run_batch_threads(self, run_one, inputs, spec, width) -> list:
+    def _run_batch_threads(
+        self,
+        run_one: Callable[..., Any],
+        inputs: list[Any],
+        spec: Any,
+        width: int,
+    ) -> list:
         """Thread fan-out over the persistent pool.
 
         A narrower per-call width is honoured with a semaphore bounding
@@ -418,7 +436,7 @@ class Session(Configurable):
             else None
         )
 
-        def task(item, index):
+        def task(item: Any, index: int) -> Any:
             if gate is None:
                 return run_one(item, spec, index, engine_pool=pool)
             with gate:
@@ -430,7 +448,9 @@ class Session(Configurable):
         ]
         return [future.result() for future in futures]
 
-    def _run_batch_processes(self, kind, inputs, spec, width) -> list:
+    def _run_batch_processes(
+        self, kind: str, inputs: list[Any], spec: Any, width: int
+    ) -> list:
         """Chunked, order-preserving fan-out over the process pool.
 
         Inputs are lowered to their array wire form

@@ -10,9 +10,11 @@ assignment plus quality metrics; ``--spec spec.json`` drives the run from
 a declarative :class:`repro.api.RunSpec` instead of individual flags, and
 ``--artifact out.json`` persists the full :class:`repro.api.RunArtifact`.
 ``bench`` regenerates one evaluation artefact at a chosen scale and
-prints the report.  ``repro --list-solvers`` enumerates every registered
-solver and detector.  Everything resolves through the
-:mod:`repro.api` registries — there is no CLI-private solver table.
+prints the report.  ``repro lint [paths]`` runs the project-invariant
+static analysis (:mod:`repro.analysis`) and exits non-zero on findings.
+``repro --list-solvers`` enumerates every registered solver and
+detector.  Everything resolves through the :mod:`repro.api` registries
+— there is no CLI-private solver table.
 """
 
 from __future__ import annotations
@@ -313,6 +315,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULES, LintEngine, LintRuleError, load_config
+    from repro.analysis.engine import render_json, render_text
+
+    if args.list_rules:
+        for rule_id in RULES.available():
+            print(f"{rule_id}  {RULES.get(rule_id).summary}")
+        return 0
+    try:
+        config = load_config(args.config)
+        engine = LintEngine(rules=args.rules, config=config)
+        findings = engine.lint_paths(args.paths or ["src"])
+    except (LintRuleError, FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    report = render_json(findings) if args.json else render_text(findings)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"lint report written to {args.output}")
+    elif report:
+        print(report)
+    if findings:
+        print(
+            f"repro lint: {len(findings)} finding(s) in "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.output and not args.json:
+        print("repro lint: clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -411,6 +446,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--print-labels", action="store_true")
     detect.set_defaults(func=_cmd_detect)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analysis (REP rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        default=None,
+        metavar="REPnnn",
+        help="run only this rule (repeatable; default: all registered)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report instead of file:line:col text",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    lint.add_argument(
+        "--config",
+        default=None,
+        help=(
+            "pyproject.toml providing [tool.repro.lint] overrides "
+            "(default: ./pyproject.toml when present)"
+        ),
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with summaries, then exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     bench = sub.add_parser(
         "bench", help="regenerate one paper table/figure"

@@ -9,8 +9,6 @@ which is exactly how the GUROBI-substitute comparison runs are produced.
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.multilevel import MultilevelConfig, MultilevelDetector

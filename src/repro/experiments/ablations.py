@@ -13,16 +13,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.community.direct import DirectQuboDetector
-from repro.community.multilevel import MultilevelConfig, MultilevelDetector
+from repro.api import DETECTORS, SOLVERS
+from repro.community.multilevel import MultilevelConfig
 from repro.experiments.reporting import format_table
 from repro.graphs.generators import planted_partition_graph
 from repro.hamiltonian.schedules import available_schedules, get_schedule
-from repro.qhd.solver import QhdSolver
 from repro.qubo.builders import build_community_qubo, default_penalties
 from repro.qubo.decode import assignment_violations
 from repro.qubo.random_instances import PortfolioGenerator, PortfolioSpec
-from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
 from repro.utils.validation import check_integer
 
 
@@ -67,7 +65,8 @@ def run_schedule_ablation(
     energies = np.zeros((len(names), len(instances)))
     for i, name in enumerate(names):
         for j, instance in enumerate(instances):
-            solver = QhdSolver(
+            solver = SOLVERS.create(
+                "qhd",
                 n_samples=qhd_samples,
                 n_steps=qhd_steps,
                 schedule=get_schedule(name, 1.0),
@@ -128,7 +127,9 @@ def run_penalty_ablation(
         n_communities, community_size, 0.35, 0.03, seed=seed
     )
     auto_a, auto_s = default_penalties(graph, n_communities)
-    solver = SimulatedAnnealingSolver(n_sweeps=150, n_restarts=3, seed=seed)
+    solver = SOLVERS.create(
+        "simulated-annealing", n_sweeps=150, n_restarts=3, seed=seed
+    )
 
     rows = []
     for scale in scales:
@@ -142,8 +143,9 @@ def run_penalty_ablation(
         unassigned, multi = assignment_violations(
             result.x, community_qubo.variable_map
         )
-        detector = DirectQuboDetector(
-            solver,
+        detector = DETECTORS.create(
+            "direct",
+            solver=solver,
             lambda_assignment=scale * auto_a,
             lambda_balance=scale * auto_s,
         )
@@ -193,10 +195,14 @@ def run_multilevel_ablation(
     graph, _ = planted_partition_graph(
         n_communities, community_size, 0.2, 0.01, seed=seed
     )
-    solver = SimulatedAnnealingSolver(n_sweeps=120, n_restarts=2, seed=seed)
+    solver = SOLVERS.create(
+        "simulated-annealing", n_sweeps=120, n_restarts=2, seed=seed
+    )
     rows = []
 
-    direct = DirectQuboDetector(solver).detect(graph, n_communities)
+    direct = DETECTORS.create("direct", solver=solver).detect(
+        graph, n_communities
+    )
     rows.append(
         MultilevelAblationRow(
             variant="direct",
@@ -210,9 +216,9 @@ def run_multilevel_ablation(
             config = MultilevelConfig(
                 threshold=threshold, alpha=alpha, beta=beta
             )
-            result = MultilevelDetector(solver, config=config).detect(
-                graph, n_communities
-            )
+            result = DETECTORS.create(
+                "multilevel", solver=solver, config=config
+            ).detect(graph, n_communities)
             rows.append(
                 MultilevelAblationRow(
                     variant=(

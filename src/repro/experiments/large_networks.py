@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.community.multilevel import MultilevelConfig, MultilevelDetector
+from repro.api import DETECTORS, SOLVERS
+from repro.community.multilevel import MultilevelConfig
 from repro.datasets.registry import InstanceSpec, table2_instances
 from repro.datasets.synthetic import (
     build_matched_graph,
@@ -22,8 +23,6 @@ from repro.datasets.synthetic import (
     scaled_spec,
 )
 from repro.experiments.reporting import format_table
-from repro.qhd.solver import QhdSolver
-from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.utils.validation import check_integer, check_positive
 
 
@@ -190,8 +189,10 @@ def run_one_instance(
             refine_seed=trial_seed + 2,
         )
 
-        qhd_detector = MultilevelDetector(
-            QhdSolver(
+        qhd_detector = DETECTORS.create(
+            "multilevel",
+            solver=SOLVERS.create(
+                "qhd",
                 n_samples=config.qhd_samples,
                 n_steps=config.qhd_steps,
                 grid_points=config.qhd_grid_points,
@@ -211,8 +212,9 @@ def run_one_instance(
         time_limit = max(
             config.min_time_limit, config.exact_time_factor * base_time
         )
-        exact_detector = MultilevelDetector(
-            BranchAndBoundSolver(time_limit=time_limit),
+        exact_detector = DETECTORS.create(
+            "multilevel",
+            solver=SOLVERS.create("branch-and-bound", time_limit=time_limit),
             config=exact_config,
         )
         exact_result = exact_detector.detect(graph, k)

@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.community.detector import QhdCommunityDetector
+from repro.api import DETECTORS
 from repro.community.louvain import louvain
 from repro.community.metrics import normalized_mutual_information
 from repro.experiments.reporting import format_table
@@ -84,7 +82,8 @@ def run_lfr_sweep(
         graph, truth = lfr_graph(
             n_nodes, mixing=float(mixing), seed=seed + index
         )
-        detector = QhdCommunityDetector(
+        detector = DETECTORS.create(
+            "qhd",
             solver=solver,
             qhd_samples=12,
             qhd_steps=80,

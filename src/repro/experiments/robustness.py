@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.community.detector import QhdCommunityDetector
+from repro.api import DETECTORS
 from repro.community.metrics import normalized_mutual_information
 from repro.experiments.reporting import format_table
 from repro.graphs.generators import planted_partition_graph
@@ -103,7 +101,8 @@ def run_robustness(
     graph, truth = planted_partition_graph(
         n_communities, community_size, p_in, p_out, seed=seed
     )
-    detector = QhdCommunityDetector(
+    detector = DETECTORS.create(
+        "qhd",
         solver=solver,
         qhd_samples=12,
         qhd_steps=80,

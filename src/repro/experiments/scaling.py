@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import SOLVERS
 from repro.experiments.reporting import format_table
-from repro.qhd.solver import QhdSolver
 from repro.qubo.random_instances import random_qubo
 from repro.solvers.base import SolverStatus
-from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.utils.validation import check_positive
 
 
@@ -104,14 +103,16 @@ def run_scaling(
     report = ScalingReport()
     for index, n in enumerate(sizes):
         model = random_qubo(int(n), density, seed=seed + index)
-        qhd = QhdSolver(
+        qhd = SOLVERS.create(
+            "qhd",
             n_samples=qhd_samples,
             n_steps=qhd_steps,
             grid_points=16,
             seed=seed + index,
         ).solve(model)
-        exact = BranchAndBoundSolver(
-            time_limit=max(min_time_limit, qhd.wall_time)
+        exact = SOLVERS.create(
+            "branch-and-bound",
+            time_limit=max(min_time_limit, qhd.wall_time),
         ).solve(model)
         report.points.append(
             ScalingPoint(

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.community.direct import DirectQuboDetector
+from repro.api import DETECTORS, SOLVERS
 from repro.datasets.registry import InstanceSpec, table1_instances
 from repro.datasets.synthetic import (
     build_matched_graph,
@@ -23,8 +23,6 @@ from repro.datasets.synthetic import (
     scaled_spec,
 )
 from repro.experiments.reporting import format_table, percent
-from repro.qhd.solver import QhdSolver
-from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.utils.validation import check_integer, check_positive
 
 
@@ -161,8 +159,10 @@ def run_one_instance(
     )
     k = config.n_communities or default_community_count(graph.n_nodes)
 
-    qhd_detector = DirectQuboDetector(
-        QhdSolver(
+    qhd_detector = DETECTORS.create(
+        "direct",
+        solver=SOLVERS.create(
+            "qhd",
             n_samples=config.qhd_samples,
             n_steps=config.qhd_steps,
             grid_points=config.qhd_grid_points,
@@ -176,8 +176,9 @@ def run_one_instance(
         config.min_time_limit,
         config.exact_time_factor * qhd_result.wall_time,
     )
-    exact_detector = DirectQuboDetector(
-        BranchAndBoundSolver(time_limit=time_limit),
+    exact_detector = DETECTORS.create(
+        "direct",
+        solver=SOLVERS.create("branch-and-bound", time_limit=time_limit),
         refine_passes=config.refine_passes,
     )
     exact_result = exact_detector.detect(graph, k)

@@ -22,7 +22,7 @@ contributes ``2w`` to ``2m``).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -35,6 +35,18 @@ def _check_n_nodes(n_nodes: int) -> int:
     if n_nodes < 0:
         raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
     return int(n_nodes)
+
+
+def _readonly_triple(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read-only views of three arrays, as a statically-typed triple."""
+    views: list[np.ndarray] = []
+    for arr in (a, b, c):
+        view = arr.view()
+        view.flags.writeable = False
+        views.append(view)
+    return views[0], views[1], views[2]
 
 
 def _canonicalize_edge_arrays(
@@ -265,7 +277,7 @@ class Graph:
         return graph
 
     @classmethod
-    def from_networkx(cls, nx_graph) -> "Graph":
+    def from_networkx(cls, nx_graph: Any) -> "Graph":
         """Convert a ``networkx`` graph, relabelling nodes to ``0..n-1``.
 
         Node order follows ``nx_graph.nodes()``; edge ``weight`` attributes
@@ -279,7 +291,7 @@ class Graph:
         ]
         return cls(len(nodes), edges)
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Convert to an undirected weighted :class:`networkx.Graph`."""
         import networkx as nx
 
@@ -340,12 +352,7 @@ class Graph:
 
     def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return read-only canonical edge arrays ``(u, v, w)``."""
-        arrays = []
-        for arr in (self._edge_u, self._edge_v, self._edge_w):
-            view = arr.view()
-            view.flags.writeable = False
-            arrays.append(view)
-        return tuple(arrays)  # type: ignore[return-value]
+        return _readonly_triple(self._edge_u, self._edge_v, self._edge_w)
 
     def to_arrays(self) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
         """``(n_nodes, edge_u, edge_v, edge_w)`` — the wire form of a graph.
@@ -405,12 +412,7 @@ class Graph:
 
     def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the symmetric CSR arrays ``(indptr, indices, weights)``."""
-        arrays = []
-        for arr in (self._indptr, self._indices, self._weights):
-            view = arr.view()
-            view.flags.writeable = False
-            arrays.append(view)
-        return tuple(arrays)  # type: ignore[return-value]
+        return _readonly_triple(self._indptr, self._indices, self._weights)
 
     # ------------------------------------------------------------------
     # Matrices
@@ -424,7 +426,7 @@ class Graph:
         a[v[off], u[off]] += w[off]
         return a
 
-    def sparse_adjacency(self):
+    def sparse_adjacency(self) -> Any:
         """Symmetric :class:`scipy.sparse.csr_matrix` adjacency.
 
         The returned matrix owns copies of the CSR arrays: callers may

@@ -46,9 +46,11 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.exceptions import SimulationError
 from repro.hamiltonian.grid import PositionGrid, laplacian_eigensystem
 from repro.hamiltonian.periodic import (
@@ -357,7 +359,13 @@ class EvolutionEngine:
     # ------------------------------------------------------------------
     # Evolution loop
     # ------------------------------------------------------------------
-    def _evolve(self, pool, rng, budget, record_trace) -> EvolutionOutcome:
+    def _evolve(
+        self,
+        pool: ThreadPoolExecutor | None,
+        rng: np.random.Generator,
+        budget: TimeBudget | None,
+        record_trace: bool,
+    ) -> EvolutionOutcome:
         trace_best: list[float] = []
         trace_mean: list[float] = []
         steps_done = 0
@@ -389,7 +397,13 @@ class EvolutionEngine:
             )
         return EvolutionOutcome(steps_done=steps_done, trace=trace)
 
-    def _observe(self, pool, rng, full_mu: bool) -> np.ndarray | None:
+    @hot_path
+    def _observe(
+        self,
+        pool: ThreadPoolExecutor | None,
+        rng: np.random.Generator,
+        full_mu: bool,
+    ) -> np.ndarray | None:
         """One density pass -> expectations + stochastic field positions.
 
         Fills ``self._pos`` with the per-sample measured positions
@@ -420,6 +434,7 @@ class EvolutionEngine:
         self._pos[0] = mu0
         return mu
 
+    @hot_path
     def _density(self, sl: slice) -> None:
         """``|psi|^2`` and its grid-axis mass for one sample shard."""
         psi, dens, sums = self._psi, self._dens, self._sums
@@ -431,6 +446,7 @@ class EvolutionEngine:
         if np.any(self._sums <= 0):
             raise SimulationError("cannot normalise zero probability mass")
 
+    @hot_path
     def _inverse_cdf(self, sl: slice, out: np.ndarray) -> None:
         """Inverse-CDF position draw for one shard (cdf in ``_dens``)."""
         np.less(self._dens[sl], self._draws[sl], out=self._bool[sl])
@@ -438,7 +454,13 @@ class EvolutionEngine:
         np.clip(self._idx[sl], 0, self.grid_points - 1, out=self._idx[sl])
         np.take(self.points, self._idx[sl], out=out)
 
-    def _strang_step(self, pool, step: int, fields: np.ndarray) -> None:
+    @hot_path
+    def _strang_step(
+        self,
+        pool: ThreadPoolExecutor | None,
+        step: int,
+        fields: np.ndarray,
+    ) -> None:
         """One in-place Strang split step with precomputed phases."""
         psi, half, work, work2 = (
             self._psi, self._half, self._work, self._work2,
@@ -477,7 +499,8 @@ class EvolutionEngine:
                 back[sl], half[sl], out=psi[sl]
             ))
 
-    def _normalize(self, pool) -> None:
+    @hot_path
+    def _normalize(self, pool: ThreadPoolExecutor | None) -> None:
         """In-place renormalisation, mirroring ``observables.normalize``."""
         psi = self._psi
         if not np.all(np.isfinite(psi.view(self._rdtype))):
@@ -497,7 +520,11 @@ class EvolutionEngine:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _foreach(self, pool, fn) -> None:
+    def _foreach(
+        self,
+        pool: ThreadPoolExecutor | None,
+        fn: Callable[[slice], object],
+    ) -> None:
         """Run ``fn`` over the sample shards, threaded when pooled."""
         if pool is None:
             fn(slice(None))

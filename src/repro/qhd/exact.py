@@ -26,7 +26,7 @@ from repro.hamiltonian.observables import normalize
 from repro.hamiltonian.propagator import KineticPropagator, potential_phase
 from repro.hamiltonian.schedules import Schedule, get_schedule
 from repro.qubo.model import QuboModel
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_integer, check_positive
 
 

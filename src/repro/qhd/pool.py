@@ -55,6 +55,7 @@ Examples
 from __future__ import annotations
 
 import threading
+from types import TracebackType
 from typing import Any, Iterable
 
 from repro.exceptions import SimulationError
@@ -120,7 +121,9 @@ def engine_key(
 class _EngineLease:
     """Context manager handing one pooled engine to one run."""
 
-    def __init__(self, pool: "EnginePool", key: tuple, engine: EvolutionEngine):
+    def __init__(
+        self, pool: "EnginePool", key: tuple, engine: EvolutionEngine
+    ) -> None:
         self._pool = pool
         self._key = key
         self._engine: EvolutionEngine | None = engine
@@ -130,7 +133,12 @@ class _EngineLease:
             raise SimulationError("engine lease already released")
         return self._engine
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         engine, self._engine = self._engine, None
         if engine is not None:
             self._pool._release(self._key, engine)
@@ -153,6 +161,17 @@ class EnginePool:
         default session's) sweeping many distinct run shapes holds at
         most this many workspaces, not one set per shape ever seen.
     """
+
+    # Every write to these outside __init__ must hold self._lock; the
+    # REP005 invariant rule (repro.analysis) enforces the declaration.
+    _locked_fields = (
+        "_hits",
+        "_misses",
+        "_discarded",
+        "_leased",
+        "_setup_seconds",
+        "_idle",
+    )
 
     def __init__(
         self, max_idle_per_key: int = 4, max_idle_total: int = 16
@@ -429,7 +448,7 @@ def _lease_or_build(
     model: BaseQubo,
     schedule: Schedule,
     **knobs: Any,
-):
+) -> "_EngineLease | _OneShotLease":
     """A lease from ``pool``, or a one-shot lease around a fresh engine.
 
     The shared acquisition path of :meth:`repro.qhd.QhdSolver._run`:
@@ -447,12 +466,19 @@ class _OneShotLease:
     """Context manager adapter for an unpooled, single-use engine."""
 
     def __init__(self, engine: EvolutionEngine) -> None:
-        self._engine = engine
+        self._engine: EvolutionEngine | None = engine
 
     def __enter__(self) -> EvolutionEngine:
+        if self._engine is None:
+            raise SimulationError("engine lease already released")
         return self._engine
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self._engine = None
 
 

@@ -38,7 +38,7 @@ from repro.exceptions import SimulationError, SolverError
 from repro.hamiltonian.observables import normalize
 from repro.hamiltonian.schedules import Schedule, get_schedule
 from repro.qhd.engine import check_complex_dtype
-from repro.qhd.pool import _lease_or_build
+from repro.qhd.pool import EnginePool, _lease_or_build
 from repro.qhd.refinement import refine_candidates, round_positions
 from repro.qhd.result import QhdDetails
 from repro.qubo.model import BaseQubo
@@ -170,12 +170,12 @@ class QhdSolver(QuboSolver):
         # repeated runs of the same shape reuse one engine's phase
         # tables and workspace buffers (see repro.qhd.pool).  Not part
         # of the config round-trip — a rebuilt solver starts unpooled.
-        self._engine_pool = None
+        self._engine_pool: EnginePool | None = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def bind_engine_pool(self, pool) -> "QhdSolver":
+    def bind_engine_pool(self, pool: EnginePool | None) -> "QhdSolver":
         """Attach (or with ``None`` detach) an engine pool; returns self.
 
         With a :class:`repro.qhd.pool.EnginePool` bound, :meth:`solve`
@@ -189,7 +189,7 @@ class QhdSolver(QuboSolver):
         return self
 
     @property
-    def engine_pool(self):
+    def engine_pool(self) -> EnginePool | None:
         """The attached :class:`~repro.qhd.pool.EnginePool`, or ``None``."""
         return self._engine_pool
 

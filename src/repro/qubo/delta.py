@@ -66,20 +66,24 @@ True
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import ArrayLike
 from scipy import sparse
 
+from repro.analysis.markers import hot_path
 from repro.exceptions import QuboError
 from repro.qubo.model import BaseQubo
 
 
-def _factor_terms_of(model: BaseQubo):
+def _factor_terms_of(model: BaseQubo) -> tuple | None:
     """The model's canonicalised factor internals, or ``None``."""
     getter = getattr(model, "factor_terms", None)
     return None if getter is None else getter()
 
 
-def _coupling_slots(model: BaseQubo):
+def _coupling_slots(model: BaseQubo) -> tuple:
     """``(dense_rows, indptr, indices, data)`` row access for ``model``.
 
     Dense models fill the first slot (row gathers), sparse models the
@@ -93,7 +97,7 @@ def _coupling_slots(model: BaseQubo):
     return np.asarray(coupling, dtype=np.float64), None, None, None
 
 
-def _factor_slots(model: BaseQubo):
+def _factor_slots(model: BaseQubo) -> tuple | None:
     """Factor arrays for the flip update, or ``None`` without factors.
 
     Returns ``(alpha, row_indptr, row_indices, row_data, col_indptr,
@@ -117,7 +121,7 @@ def _factor_slots(model: BaseQubo):
     )
 
 
-def _check_refresh_every(refresh_every) -> int | None:
+def _check_refresh_every(refresh_every: int | None) -> int | None:
     """Validate a refresh cadence (positive int or ``None`` = never)."""
     if refresh_every is None:
         return None
@@ -132,7 +136,7 @@ def _check_refresh_every(refresh_every) -> int | None:
     return int(refresh_every)
 
 
-def _bind_model_slots(state, model: BaseQubo) -> None:
+def _bind_model_slots(state: Any, model: BaseQubo) -> None:
     """Wire the coupling-row and factor arrays a state's flips read.
 
     Shared by :class:`FlipDeltaState` and :class:`BatchFlipDeltaState`
@@ -201,7 +205,7 @@ class FlipDeltaState:
     """
 
     def __init__(
-        self, model: BaseQubo, x, refresh_every: int | None = None
+        self, model: BaseQubo, x: ArrayLike, refresh_every: int | None = None
     ) -> None:
         if not isinstance(model, BaseQubo):
             raise QuboError(
@@ -216,7 +220,7 @@ class FlipDeltaState:
         self._x = vec
         self._refresh_every = _check_refresh_every(refresh_every)
         self._scratch = np.empty_like(vec)
-        self._mask_scratch: np.ndarray | None = None
+        self._mask_scratch = np.empty(vec.shape, dtype=bool)
         _bind_model_slots(self, model)
         self.refresh()
         self._n_flips = 0
@@ -261,6 +265,7 @@ class FlipDeltaState:
         """Accepted-flip cadence of automatic refreshes (None = never)."""
         return self._refresh_every
 
+    @hot_path
     def delta(self, index: int) -> float:
         """Energy change of flipping bit ``index`` — an O(1) read."""
         i = int(index)
@@ -270,6 +275,7 @@ class FlipDeltaState:
         """Energy change of flipping each bit (fresh array, O(n))."""
         return (1.0 - 2.0 * self._x) * self._fields
 
+    @hot_path
     def best_flip(
         self, where: np.ndarray | None = None
     ) -> tuple[int, float]:
@@ -302,8 +308,6 @@ class FlipDeltaState:
         np.add(scratch, 1.0, out=scratch)
         np.multiply(scratch, self._fields, out=scratch)
         if where is not None:
-            if self._mask_scratch is None:
-                self._mask_scratch = np.empty(scratch.shape, dtype=bool)
             np.logical_not(where, out=self._mask_scratch)
             if self._mask_scratch.all():
                 raise QuboError(
@@ -316,6 +320,7 @@ class FlipDeltaState:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    @hot_path
     def flip(self, index: int) -> float:
         """Accept the flip of bit ``index``; returns its energy delta.
 
@@ -442,6 +447,7 @@ class BatchFlipDeltaState:
         self.refresh()
         self._n_flips = 0
         self._scratch = np.empty_like(batch)
+        self._row_ids = np.arange(batch.shape[0])
         _bind_model_slots(self, model)
 
     @property
@@ -472,6 +478,7 @@ class BatchFlipDeltaState:
         """Flip deltas for every (trajectory, bit), shape ``(batch, n)``."""
         return (1.0 - 2.0 * self._x) * self._fields
 
+    @hot_path
     def best_flips(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-trajectory (indices, deltas) of the best single flips.
 
@@ -498,9 +505,9 @@ class BatchFlipDeltaState:
         np.add(scratch, 1.0, out=scratch)
         np.multiply(scratch, self._fields, out=scratch)
         cols = np.argmin(scratch, axis=1)
-        rows = np.arange(scratch.shape[0])
-        return cols, scratch[rows, cols]
+        return cols, scratch[self._row_ids, cols]
 
+    @hot_path
     def flip(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Accept one flip per listed trajectory; returns their deltas.
 

@@ -36,6 +36,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Iterable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import QuboError
 from repro.utils.validation import check_square_matrix
@@ -72,7 +73,7 @@ class BaseQubo(ABC):
         """Constant energy offset."""
 
     @abstractmethod
-    def evaluate(self, x) -> float:
+    def evaluate(self, x: ArrayLike) -> float:
         """Energy of one assignment (binary or relaxed in [0, 1])."""
 
     @abstractmethod
@@ -80,7 +81,7 @@ class BaseQubo(ABC):
         """Energies of a batch of assignments, shape ``(batch, n)``."""
 
     @abstractmethod
-    def local_fields(self, x) -> np.ndarray:
+    def local_fields(self, x: ArrayLike) -> np.ndarray:
         """Effective field ``h = 2 S x + c`` seen by each variable."""
 
     @abstractmethod
@@ -88,14 +89,14 @@ class BaseQubo(ABC):
         """Batched :meth:`local_fields`, shape ``(batch, n)`` in and out."""
 
     @abstractmethod
-    def flip_delta(self, x, index: int) -> float:
+    def flip_delta(self, x: ArrayLike, index: int) -> float:
         """Energy change of flipping bit ``index`` only."""
 
     @abstractmethod
     def to_dense(self) -> "QuboModel":
         """Materialise as a dense :class:`QuboModel` (exact energies)."""
 
-    def flip_deltas(self, x) -> np.ndarray:
+    def flip_deltas(self, x: ArrayLike) -> np.ndarray:
         """Energy change of flipping each bit of binary assignment ``x``.
 
         ``delta[i] = E(x with bit i flipped) - E(x)``; derived from
@@ -203,7 +204,7 @@ class QuboModel(BaseQubo):
     # ------------------------------------------------------------------
     # Energies
     # ------------------------------------------------------------------
-    def evaluate(self, x: np.ndarray | Iterable[float]) -> float:
+    def evaluate(self, x: ArrayLike) -> float:
         """Energy of one assignment (binary or relaxed in [0, 1])."""
         vec = np.asarray(x, dtype=np.float64)
         if vec.shape != (self.n_variables,):
@@ -228,7 +229,7 @@ class QuboModel(BaseQubo):
         lin = batch @ self._effective_linear
         return quad + lin + self._offset
 
-    def local_fields(self, x: np.ndarray) -> np.ndarray:
+    def local_fields(self, x: ArrayLike) -> np.ndarray:
         """Effective field ``h_i = 2 (S x)_i + c_i`` seen by each variable.
 
         ``E(x with x_i = 1) - E(x with x_i = 0) == h_i`` when the other
@@ -252,7 +253,7 @@ class QuboModel(BaseQubo):
             )
         return 2.0 * (batch @ self._coupling) + self._effective_linear
 
-    def flip_delta(self, x: np.ndarray, index: int) -> float:
+    def flip_delta(self, x: ArrayLike, index: int) -> float:
         """Energy change of flipping bit ``index`` only (O(n))."""
         vec = np.asarray(x, dtype=np.float64)
         field = (

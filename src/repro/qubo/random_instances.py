@@ -11,7 +11,7 @@ configurable size and density regimes matching the published means.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -25,9 +25,10 @@ nature); :meth:`to_dense` makes the conversion explicit.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 import numpy as np
+from numpy.typing import ArrayLike
 from scipy import sparse
 
 from repro.exceptions import QuboError
@@ -69,10 +70,10 @@ class SparseQuboModel(BaseQubo):
 
     def __init__(
         self,
-        quadratic,
+        quadratic: Any,
         linear: np.ndarray | Iterable[float] | None = None,
         offset: float = 0.0,
-        factors=None,
+        factors: tuple | None = None,
     ) -> None:
         matrix = sparse.csr_matrix(quadratic, dtype=np.float64)
         if matrix.shape[0] != matrix.shape[1]:
@@ -269,7 +270,7 @@ class SparseQuboModel(BaseQubo):
     # ------------------------------------------------------------------
     # Energies (same contracts as QuboModel)
     # ------------------------------------------------------------------
-    def evaluate(self, x) -> float:
+    def evaluate(self, x: ArrayLike) -> float:
         """Energy of one assignment."""
         vec = np.asarray(x, dtype=np.float64)
         if vec.shape != (self.n_variables,):
@@ -296,7 +297,7 @@ class SparseQuboModel(BaseQubo):
         quad += self._factor_quadratic_batch(batch)
         return quad + batch @ self._effective_linear + self._offset
 
-    def local_fields(self, x) -> np.ndarray:
+    def local_fields(self, x: ArrayLike) -> np.ndarray:
         """Effective field ``h = 2 S x + c`` (see QuboModel)."""
         vec = np.asarray(x, dtype=np.float64)
         if vec.shape != (self.n_variables,):
@@ -319,7 +320,7 @@ class SparseQuboModel(BaseQubo):
         )
         return 2.0 * product + self._effective_linear
 
-    def flip_delta(self, x, index: int) -> float:
+    def flip_delta(self, x: ArrayLike, index: int) -> float:
         """Energy change of flipping bit ``index`` (sparse row access)."""
         vec = np.asarray(x, dtype=np.float64)
         row = self._coupling.getrow(index)

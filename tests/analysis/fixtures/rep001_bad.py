@@ -1,0 +1,16 @@
+"""REP001 fixture: full delta recomputation inside sweep loops."""
+
+
+def sweep(model, x):
+    total = 0.0
+    for i in range(model.n_variables):
+        total += model.flip_delta(x, i)
+    return total
+
+
+def descend(model, x):
+    while True:
+        deltas = model.flip_deltas(x)
+        if deltas.min() >= 0:
+            return x
+        x[int(deltas.argmin())] = 1 - x[int(deltas.argmin())]

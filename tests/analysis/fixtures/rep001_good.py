@@ -1,0 +1,16 @@
+"""REP001 fixture: incremental flip-state sweeps (clean)."""
+
+from repro.solvers.base import flip_state
+
+
+def sweep(model, x):
+    state = flip_state(model, x)
+    for i in range(model.n_variables):
+        if state.delta(i) < 0:
+            state.flip(i)
+    return state.energy
+
+
+def one_shot(model, x):
+    # Outside any loop the O(nnz) call is legitimate.
+    return model.flip_deltas(x)

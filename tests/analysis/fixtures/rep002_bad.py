@@ -1,0 +1,16 @@
+"""REP002 fixture: fresh-array idioms inside a declared hot path."""
+
+import numpy as np
+
+from repro.analysis.markers import hot_path
+
+
+class Engine:
+    @hot_path
+    def step(self, fields):
+        buf = np.zeros(fields.shape)
+        prod = np.multiply(fields, 2.0)
+        cast = fields.astype(np.float32)
+        dup = fields.copy()
+        drift = self._phase * 2.0
+        return buf, prod, cast, dup, drift

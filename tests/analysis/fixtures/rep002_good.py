@@ -1,0 +1,23 @@
+"""REP002 fixture: preallocated buffers and out= ufuncs (clean)."""
+
+import numpy as np
+
+from repro.analysis.markers import hot_path
+
+
+class Engine:
+    def __init__(self, n):
+        # Construction time may allocate freely.
+        self._buf = np.zeros(n)
+        self._phase = np.zeros(n)
+
+    @hot_path
+    def step(self, fields):
+        np.multiply(fields, 2.0, out=self._buf)
+        np.add(self._buf, self._phase, out=self._buf)
+        lead = self._phase[0] * 2.0
+        return float(self._buf[0]) + lead
+
+    def observe(self, fields):
+        # Not declared hot: allocation is unrestricted here.
+        return fields.copy() + np.zeros(fields.shape)

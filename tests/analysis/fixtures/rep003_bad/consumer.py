@@ -1,0 +1,12 @@
+"""REP003 fixture: direct construction and a private name table."""
+
+from plugins import FixtureAnnealer, FixtureTabu
+
+_SOLVERS = {
+    "annealer": FixtureAnnealer,
+    "tabu": FixtureTabu,
+}
+
+
+def build():
+    return FixtureAnnealer(n_sweeps=5)

@@ -1,0 +1,9 @@
+"""REP003 fixture: names resolve through the registry (clean)."""
+
+from repro.api import SOLVERS
+
+
+def build(name="fixture-annealer"):
+    if name not in SOLVERS.available():
+        raise ValueError(name)
+    return SOLVERS.create(name, n_sweeps=5)

@@ -1,0 +1,15 @@
+"""REP003 fixture: the registration site (construction allowed here)."""
+
+from repro.api import SOLVERS
+
+
+@SOLVERS.register("fixture-annealer")
+class FixtureAnnealer:
+    def __init__(self, n_sweeps=10):
+        self.n_sweeps = n_sweeps
+
+
+@SOLVERS.register("fixture-tabu")
+class FixtureTabu:
+    def __init__(self, tenure=5):
+        self.tenure = tenure

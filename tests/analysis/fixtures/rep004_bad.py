@@ -1,0 +1,15 @@
+"""REP004 fixture: hidden RNG streams and wall-clock reads."""
+
+import random
+import time
+from random import choice
+
+import numpy as np
+
+
+def sample(n):
+    np.random.seed(42)
+    noise = np.random.normal(size=n)
+    jitter = random.random()
+    stamp = time.time()
+    return noise, jitter, stamp, choice(range(n))

@@ -1,0 +1,15 @@
+"""REP004 fixture: RNG flows in as a Generator parameter (clean)."""
+
+import time
+
+import numpy as np
+
+
+def sample(n, rng):
+    start = time.perf_counter()
+    noise = rng.normal(size=n)
+    return noise, time.perf_counter() - start
+
+
+def make_rng(seed):
+    return np.random.default_rng(np.random.SeedSequence(seed))

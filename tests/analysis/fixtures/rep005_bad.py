@@ -1,0 +1,18 @@
+"""REP005 fixture: pickle on the wire and unguarded counter writes."""
+
+import pickle
+import threading
+
+
+class Pool:
+    _locked_fields = ("_hits", "_idle")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._idle = {}
+
+    def lease(self, key, payload):
+        self._hits += 1
+        self._idle[key] = payload
+        return pickle.dumps(payload)

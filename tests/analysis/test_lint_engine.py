@@ -1,0 +1,208 @@
+"""Engine-level tests: suppressions, reports, config, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    LintEngine,
+    LintRuleError,
+    RULES,
+    lint_paths,
+    lint_source,
+    load_config,
+)
+from repro.analysis.engine import render_json, render_text
+from repro.analysis.suppressions import suppressed_rules
+from repro.cli import main
+
+WALL_CLOCK_SRC = "import time\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestSuppressions:
+    def test_noqa_with_rule_silences_that_rule(self):
+        src = WALL_CLOCK_SRC.replace(
+            "time.time()", "time.time()  # repro: noqa REP004"
+        )
+        assert lint_source(src, path="lib/clock.py") == []
+
+    def test_bare_noqa_silences_every_rule(self):
+        src = WALL_CLOCK_SRC.replace(
+            "time.time()", "time.time()  # repro: noqa"
+        )
+        assert lint_source(src, path="lib/clock.py") == []
+
+    def test_other_rule_does_not_suppress(self):
+        src = WALL_CLOCK_SRC.replace(
+            "time.time()", "time.time()  # repro: noqa REP001"
+        )
+        findings = lint_source(src, path="lib/clock.py")
+        assert [f.rule for f in findings] == ["REP004"]
+
+    def test_multiple_rules_in_one_comment(self):
+        table = suppressed_rules("x = 1  # repro: noqa REP001, REP004\n")
+        assert table[1] == frozenset({"REP001", "REP004"})
+
+    def test_bracketed_rule_list_silences_that_rule(self):
+        src = WALL_CLOCK_SRC.replace(
+            "time.time()", "time.time()  # repro: noqa [REP004]"
+        )
+        assert lint_source(src, path="lib/clock.py") == []
+
+    def test_bracketed_multiple_rules(self):
+        table = suppressed_rules("x = 1  # repro: noqa [REP001, REP004]\n")
+        assert table[1] == frozenset({"REP001", "REP004"})
+
+    def test_empty_brackets_do_not_suppress(self):
+        src = WALL_CLOCK_SRC.replace(
+            "time.time()", "time.time()  # repro: noqa []"
+        )
+        findings = lint_source(src, path="lib/clock.py")
+        assert [f.rule for f in findings] == ["REP004"]
+
+    def test_unrelated_comments_do_not_suppress(self):
+        findings = lint_source(
+            WALL_CLOCK_SRC.replace("time.time()", "time.time()  # noqa"),
+            path="lib/clock.py",
+        )
+        assert [f.rule for f in findings] == ["REP004"]
+
+
+class TestReports:
+    def test_finding_dict_round_trip(self):
+        finding = Finding(
+            path="a.py", line=3, col=4, rule="REP004", message="m"
+        )
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_render_json_round_trips_findings(self):
+        findings = lint_source(WALL_CLOCK_SRC, path="lib/clock.py")
+        payload = json.loads(render_json(findings))
+        assert payload["count"] == len(findings) == 1
+        restored = [Finding.from_dict(f) for f in payload["findings"]]
+        assert restored == findings
+
+    def test_render_text_format(self):
+        [finding] = lint_source(WALL_CLOCK_SRC, path="lib/clock.py")
+        line = render_text([finding])
+        assert line.startswith("lib/clock.py:4:")
+        assert " REP004 " in line
+
+
+class TestEngine:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(LintRuleError):
+            LintEngine(rules=["REP999"])
+
+    def test_disable_via_config(self):
+        engine = LintEngine(config=LintConfig(disable=("REP004",)))
+        assert engine.lint_source(WALL_CLOCK_SRC, path="lib/clock.py") == []
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n", encoding="utf-8")
+        findings = lint_paths([bad])
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["no/such/dir"])
+
+    def test_findings_sorted_and_unique(self, tmp_path):
+        file = tmp_path / "lib.py"
+        file.write_text(
+            "import time\n\n"
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        for y in x:\n"
+            "            y.flip_deltas(x)\n"
+            "    return time.time()\n",
+            encoding="utf-8",
+        )
+        findings = lint_paths([file])
+        assert findings == sorted(findings)
+        assert len(findings) == len(set(findings))
+        assert {f.rule for f in findings} == {"REP001", "REP004"}
+
+
+class TestConfig:
+    def test_load_config_defaults_without_file(self, tmp_path):
+        assert load_config(tmp_path / "absent.toml") == LintConfig()
+
+    def test_load_config_reads_tool_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.lint]\n"
+            'disable = ["REP002"]\n'
+            'hot-functions = ["E.step"]\n',
+            encoding="utf-8",
+        )
+        config = load_config(pyproject)
+        assert config.disable == ("REP002",)
+        assert config.hot_functions == ("E.step",)
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.lint]\nunknown-knob = 1\n", encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="unknown-knob"):
+            load_config(pyproject)
+
+    def test_repo_pyproject_parses(self):
+        root = Path(__file__).resolve().parents[2]
+        load_config(root / "pyproject.toml")
+
+
+class TestCli:
+    @pytest.fixture
+    def dirty_tree(self, tmp_path):
+        lib = tmp_path / "lib"
+        lib.mkdir()
+        (lib / "clock.py").write_text(WALL_CLOCK_SRC, encoding="utf-8")
+        return lib
+
+    def test_lint_clean_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "repro lint: clean" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        captured = capsys.readouterr()
+        assert "REP004" in captured.out
+        assert "1 finding(s)" in captured.err
+
+    def test_lint_json_output(self, dirty_tree, capsys):
+        assert main(["lint", "--json", str(dirty_tree)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "REP004"
+
+    def test_lint_rule_filter(self, dirty_tree, capsys):
+        assert main(["lint", "--rule", "REP001", str(dirty_tree)]) == 0
+        capsys.readouterr()
+
+    def test_lint_output_file(self, dirty_tree, tmp_path, capsys):
+        report = tmp_path / "lint.json"
+        code = main(
+            ["lint", "--json", "--output", str(report), str(dirty_tree)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        assert json.loads(report.read_text(encoding="utf-8"))["count"] == 1
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES.available():
+            assert rule_id in out
+
+    def test_lint_unknown_rule_exits(self):
+        with pytest.raises(SystemExit, match="REP999"):
+            main(["lint", "--rule", "REP999", "."])
