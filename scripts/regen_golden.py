@@ -99,6 +99,30 @@ DETECTOR_CONFIGS: dict[str, dict[str, Any]] = {
 #: that legitimately differs between runs of identical behaviour.
 VOLATILE_KEYS = frozenset({"timings", "wall_time"})
 
+#: Solver shared by every streaming fixture (cheap + deterministic).
+STREAM_SOLVER = "greedy"
+
+#: Graph the streaming fixtures evolve (see :data:`GRAPHS`).
+STREAM_GRAPH = "cliques"
+
+#: The seeded 3-batch event stream every detector is pinned on:
+#: insert/delete, reweight (creating one edge), then delete/insert —
+#: every op and the delete-before-insert batch ordering get exercised.
+STREAM_EVENTS: list[list[dict[str, Any]]] = [
+    [
+        {"op": "insert", "u": 0, "v": 4, "w": 2.0},
+        {"op": "delete", "u": 0, "v": 1},
+    ],
+    [
+        {"op": "reweight", "u": 2, "v": 3, "w": 0.5},
+        {"op": "insert", "u": 1, "v": 6, "w": 1.0},
+    ],
+    [
+        {"op": "delete", "u": 2, "v": 3},
+        {"op": "insert", "u": 5, "v": 7, "w": 1.5},
+    ],
+]
+
 
 def golden_spec(detector: str, solver: str) -> dict[str, Any]:
     """The RunSpec dict of one golden combination."""
@@ -126,6 +150,45 @@ def golden_combinations() -> list[tuple[str, str, str]]:
 def fixture_name(detector: str, solver: str, graph: str) -> str:
     """Fixture file name of one combination."""
     return f"{detector}--{solver}--{graph}.json"
+
+
+def stream_fixture_name(detector: str) -> str:
+    """Fixture file name of one detector's streaming trace."""
+    return f"stream_{detector}.json"
+
+
+def stream_detectors() -> list[str]:
+    """Every registered detector gets one streaming fixture."""
+    from repro.api import DETECTORS
+
+    return list(DETECTORS.available())
+
+
+def run_stream_combination(detector: str) -> dict[str, Any]:
+    """Execute one detector's streaming trace and return its payload.
+
+    ``api.detect_stream`` re-runs the detector after each of the three
+    event batches with the incremental QUBO + warm-start path active;
+    every per-batch artifact is stored (scrubbed of wall-clock noise).
+    """
+    import warnings
+
+    import repro.api as api
+
+    spec = api.RunSpec.from_dict(golden_spec(detector, STREAM_SOLVER))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        artifacts = list(
+            api.detect_stream(GRAPHS[STREAM_GRAPH](), STREAM_EVENTS, spec)
+        )
+    return {
+        "kind": "stream",
+        "detector": detector,
+        "graph": STREAM_GRAPH,
+        "events": STREAM_EVENTS,
+        "spec": spec.to_dict(),
+        "artifacts": [scrub(artifact.to_dict()) for artifact in artifacts],
+    }
 
 
 def scrub(value: Any) -> Any:
@@ -167,10 +230,21 @@ def regenerate(golden_dir: Path = GOLDEN_DIR) -> list[Path]:
     golden_dir.mkdir(parents=True, exist_ok=True)
     combos = golden_combinations()
     expected = {fixture_name(*combo) for combo in combos}
+    expected |= {
+        stream_fixture_name(detector) for detector in stream_detectors()
+    }
     written: list[Path] = []
     for detector, solver, graph in combos:
         payload = run_combination(detector, solver, graph)
         path = golden_dir / fixture_name(detector, solver, graph)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    for detector in stream_detectors():
+        payload = run_stream_combination(detector)
+        path = golden_dir / stream_fixture_name(detector)
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",

@@ -42,6 +42,10 @@ class LintConfig:
         least one class — are always allowed.
     rep005_allow_pickle:
         Path fragments exempt from the object-graph-pickling ban.
+    rep006_exempt:
+        Path suffixes where ``repatch`` calls inside loops are the
+        delta engine's own cadence mechanism, not streaming code
+        hiding a per-iteration re-materialisation.
     """
 
     disable: tuple[str, ...] = ()
@@ -55,6 +59,7 @@ class LintConfig:
         default=("repro/api/", "tests/", "conftest.py")
     )
     rep005_allow_pickle: tuple[str, ...] = ()
+    rep006_exempt: tuple[str, ...] = ("qubo/delta.py",)
 
     def without_rules(self, disable: tuple[str, ...]) -> "LintConfig":
         """A copy with ``disable`` merged in."""
@@ -69,6 +74,7 @@ _TOML_KEYS = {
     "rep001-exempt": "rep001_exempt",
     "rep003-allowed": "rep003_allowed",
     "rep005-allow-pickle": "rep005_allow_pickle",
+    "rep006-exempt": "rep006_exempt",
 }
 
 

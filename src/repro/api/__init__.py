@@ -67,6 +67,8 @@ _SESSION_EXPORTS = (
     "default_session",
 )
 
+_STREAM_EXPORTS = ("detect_stream",)
+
 __all__ = [
     "Configurable",
     "ConfigError",
@@ -81,6 +83,7 @@ __all__ = [
     "SpecError",
     *_RUNNER_EXPORTS,
     *_SESSION_EXPORTS,
+    *_STREAM_EXPORTS,
 ]
 
 
@@ -93,6 +96,10 @@ def __getattr__(name: str) -> Any:
         from repro.api import session
 
         return getattr(session, name)
+    if name in _STREAM_EXPORTS:
+        from repro.api import stream
+
+        return getattr(stream, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -137,11 +137,28 @@ def build_detector(
     return _build(DETECTORS, spec.detector, config, seed=seed)
 
 
+def _supports_warm_start(detector: Any) -> bool:
+    """Whether ``detector.detect`` accepts ``initial_partition``.
+
+    The QUBO detectors (direct/multilevel/qhd/adaptive) take the warm
+    start; classical baselines (louvain, spectral, ...) do not, and a
+    streaming run over one of them simply runs cold every event.
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(detector.detect)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return False
+    return "initial_partition" in signature.parameters
+
+
 def _detect_one(
     graph: Any,
     spec: RunSpec,
     index: int,
     engine_pool: EnginePool | None = None,
+    initial_partition: Any = None,
 ) -> "RunArtifact":
     total = Stopwatch().start()
     build = Stopwatch().start()
@@ -154,7 +171,14 @@ def _detect_one(
             "spec.n_communities is required for detection runs"
         )
     run = Stopwatch().start()
-    result = detector.detect(graph, n_communities=spec.n_communities)
+    if initial_partition is not None and _supports_warm_start(detector):
+        result = detector.detect(
+            graph,
+            n_communities=spec.n_communities,
+            initial_partition=initial_partition,
+        )
+    else:
+        result = detector.detect(graph, n_communities=spec.n_communities)
     run.stop()
     total.stop()
     return RunArtifact(

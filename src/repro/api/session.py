@@ -302,6 +302,25 @@ class Session(Configurable):
         self._count(1)
         return artifact
 
+    def detect_stream(
+        self,
+        graph: Any,
+        updates: Any,
+        spec: Any,
+        warm_start: bool = True,
+    ) -> Any:
+        """Stream detection over edge-event batches through this session.
+
+        See :func:`repro.api.detect_stream` — every per-batch QHD
+        solve leases engines from this session's pool, and the
+        incremental QUBO / flip-delta state stays warm across batches.
+        """
+        from repro.api.stream import detect_stream
+
+        return detect_stream(
+            graph, updates, spec, session=self, warm_start=warm_start
+        )
+
     def detect_batch(
         self,
         graphs: Sequence[Any],
@@ -400,6 +419,10 @@ class Session(Configurable):
         self._check_open()
         spec = runner._spec_of(spec)
         inputs = list(inputs)
+        if not inputs:
+            # Uniform empty-batch contract for every executor backend:
+            # no executor spin-up, no engine-pool traffic, just [].
+            return []
         width = self._resolve_width(max_workers, len(inputs))
         run_one = runner._detect_one if kind == "detect" else runner._solve_one
         pool = self._engine_pool

@@ -276,6 +276,90 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_event_batches(path: str) -> list:
+    """Parse an events JSONL file into edge-event batches.
+
+    One batch per non-empty line: a JSON array is a whole batch of
+    events, a JSON object is a single-event batch.  Events use the
+    :meth:`repro.graphs.Graph.apply_updates` dict form
+    (``{"op": "insert"|"delete"|"reweight", "u": ..., "v": ...,
+    "w": ...}``).
+    """
+    import json
+
+    batches = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(
+                    f"{path}:{number}: invalid JSON event line: {error}"
+                ) from None
+            if isinstance(payload, dict):
+                batches.append([payload])
+            elif isinstance(payload, list):
+                batches.append(payload)
+            else:
+                raise SystemExit(
+                    f"{path}:{number}: event line must be a JSON object "
+                    f"or array, got {type(payload).__name__}"
+                )
+    return batches
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import repro.api as api
+    from repro.graphs.io import read_edge_list
+
+    graph = read_edge_list(args.input, weighted=args.weighted)
+    print(
+        f"loaded {args.input}: {graph.n_nodes} nodes, "
+        f"{graph.n_edges} edges"
+    )
+    spec = api.RunSpec.from_file(args.spec)
+    if args.communities is not None:
+        spec = spec.replace(n_communities=args.communities)
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+    if spec.n_communities is None:
+        raise SystemExit("spec does not define n_communities")
+    batches = _read_event_batches(args.updates)
+
+    artifacts = []
+    try:
+        stream = api.detect_stream(
+            graph, batches, spec, warm_start=not args.cold
+        )
+        for artifact in stream:
+            result = artifact.result
+            touched = result.metadata.get("stream_touched_nodes", 0)
+            warm = result.metadata.get("warm_selected")
+            warm_note = (
+                ""
+                if warm is None
+                else f", warm start {'won' if warm else 'lost'}"
+            )
+            print(
+                f"batch {artifact.index}: modularity "
+                f"{result.modularity:.4f}, "
+                f"{result.n_communities} communities, "
+                f"{touched} touched node(s){warm_note}"
+            )
+            artifacts.append(artifact)
+    except (api.RegistryError, api.SpecError, api.ConfigError) as error:
+        raise SystemExit(str(error)) from None
+    if args.artifact:
+        payload = "[" + ",\n".join(a.to_json() for a in artifacts) + "]"
+        with open(args.artifact, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"stream artifacts written to {args.artifact}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     scale = args.scale
     if args.experiment in ("fig3", "fig4"):
@@ -489,6 +573,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered rules with summaries, then exit",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream detection over edge-event batches (JSONL)",
+    )
+    stream.add_argument("--input", required=True, help="edge-list path")
+    stream.add_argument(
+        "--spec",
+        required=True,
+        help="JSON RunSpec file re-run after every event batch",
+    )
+    stream.add_argument(
+        "--updates",
+        required=True,
+        help=(
+            "JSONL event file: one batch per line — a JSON array of "
+            "events or a single {op,u,v,w} event object"
+        ),
+    )
+    stream.add_argument(
+        "--communities",
+        type=int,
+        default=None,
+        help="override the spec's n_communities",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    stream.add_argument(
+        "--cold",
+        action="store_true",
+        help=(
+            "disable warm starts: run each batch cold instead of "
+            "patching the QUBO and seeding with the previous partition"
+        ),
+    )
+    stream.add_argument("--weighted", action="store_true")
+    stream.add_argument(
+        "--artifact",
+        default=None,
+        help="write the JSON array of per-batch run artifacts here",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     bench = sub.add_parser(
         "bench", help="regenerate one paper table/figure"

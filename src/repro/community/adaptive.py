@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.result import CommunityResult
@@ -86,8 +88,17 @@ class AdaptivePenaltyDetector(SolverConfigurable):
             refine_passes, "refine_passes", minimum=0
         )
 
-    def detect(self, graph: Graph, n_communities: int) -> CommunityResult:
-        """Detect communities, escalating penalties until feasible."""
+    def detect(
+        self,
+        graph: Graph,
+        n_communities: int,
+        initial_partition: np.ndarray | None = None,
+    ) -> CommunityResult:
+        """Detect communities, escalating penalties until feasible.
+
+        ``initial_partition`` (optional) warm-starts every escalation
+        round's direct solve (see :meth:`DirectQuboDetector.detect`).
+        """
         watch = Stopwatch().start()
         auto_a, auto_s = default_penalties(graph, n_communities)
         lambda_a = self.initial_scale * auto_a
@@ -102,7 +113,9 @@ class AdaptivePenaltyDetector(SolverConfigurable):
                 lambda_balance=lambda_s,
                 refine_passes=self.refine_passes,
             )
-            result = detector.detect(graph, n_communities)
+            result = detector.detect(
+                graph, n_communities, initial_partition=initial_partition
+            )
             unassigned = int(result.metadata["unassigned_nodes"])
             multi = int(result.metadata["multi_assigned_nodes"])
             rounds.append(

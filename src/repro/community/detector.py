@@ -9,6 +9,8 @@ which is exactly how the GUROBI-substitute comparison runs are produced.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.multilevel import MultilevelConfig, MultilevelDetector
@@ -132,11 +134,23 @@ class QhdCommunityDetector(SolverConfigurable):
             backend=backend,
         )
 
-    def detect(self, graph: Graph, n_communities: int) -> CommunityResult:
+    def detect(
+        self,
+        graph: Graph,
+        n_communities: int,
+        initial_partition: np.ndarray | None = None,
+    ) -> CommunityResult:
         """Detect at most ``n_communities`` communities in ``graph``.
 
         Dispatches to the direct or multilevel pipeline by graph size.
+        ``initial_partition`` (optional) is forwarded as the warm start
+        of whichever pipeline runs (see
+        :meth:`DirectQuboDetector.detect`).
         """
         if graph.n_nodes <= self.direct_threshold:
-            return self._direct.detect(graph, n_communities)
-        return self._multilevel.detect(graph, n_communities)
+            return self._direct.detect(
+                graph, n_communities, initial_partition=initial_partition
+            )
+        return self._multilevel.detect(
+            graph, n_communities, initial_partition=initial_partition
+        )

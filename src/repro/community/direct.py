@@ -10,9 +10,11 @@ pipeline apply).
 from __future__ import annotations
 
 
+import numpy as np
+
 from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.modularity import modularity
-from repro.community.refinement import refine_labels
+from repro.community.refinement import check_partition, refine_labels
 from repro.community.result import CommunityResult
 from repro.exceptions import SolverError
 from repro.graphs.graph import Graph
@@ -95,8 +97,21 @@ class DirectQuboDetector(SolverConfigurable):
         self.refine_seed = refine_seed
         self.backend = backend
 
-    def detect(self, graph: Graph, n_communities: int) -> CommunityResult:
-        """Detect at most ``n_communities`` communities in ``graph``."""
+    def detect(
+        self,
+        graph: Graph,
+        n_communities: int,
+        initial_partition: np.ndarray | None = None,
+    ) -> CommunityResult:
+        """Detect at most ``n_communities`` communities in ``graph``.
+
+        ``initial_partition`` (optional) warm-starts the classical
+        polish: the previous partition is refined by local moving on
+        the current graph and the better of the two candidates — QUBO
+        solve vs refined warm start — wins by modularity.  Without it
+        the pipeline is exactly the historical cold path, so seeded
+        cold runs are unchanged.
+        """
         check_integer(n_communities, "n_communities", minimum=1)
         watch = Stopwatch().start()
 
@@ -123,21 +138,40 @@ class DirectQuboDetector(SolverConfigurable):
                 max_passes=self.refine_passes,
                 seed=self.refine_seed,
             )
+        score = modularity(graph, labels)
+        metadata = {
+            "n_variables": community_qubo.model.n_variables,
+            "unassigned_nodes": violations[0],
+            "multi_assigned_nodes": violations[1],
+            "lambda_assignment": community_qubo.lambda_assignment,
+            "lambda_balance": community_qubo.lambda_balance,
+            "refine_passes": self.refine_passes,
+            "qubo_backend": community_qubo.backend,
+        }
+        if initial_partition is not None:
+            # Warm start: local-move the previous partition on the new
+            # graph (at least one pass even when cold refinement is
+            # disabled) and keep the better candidate.  Strictly-better
+            # so ties resolve to the cold path deterministically.
+            warm = check_partition(graph, initial_partition)
+            warm, _ = refine_labels(
+                graph,
+                warm,
+                max_passes=max(1, self.refine_passes),
+                seed=self.refine_seed,
+            )
+            warm_score = modularity(graph, warm)
+            metadata["warm_start"] = True
+            metadata["warm_selected"] = bool(warm_score > score)
+            if warm_score > score:
+                labels, score = warm, warm_score
         watch.stop()
 
         return CommunityResult(
             labels=labels,
-            modularity=modularity(graph, labels),
+            modularity=score,
             method=f"direct-qubo[{self.solver.name}]",
             wall_time=watch.elapsed,
             solve_result=solve_result,
-            metadata={
-                "n_variables": community_qubo.model.n_variables,
-                "unassigned_nodes": violations[0],
-                "multi_assigned_nodes": violations[1],
-                "lambda_assignment": community_qubo.lambda_assignment,
-                "lambda_balance": community_qubo.lambda_balance,
-                "refine_passes": self.refine_passes,
-                "qubo_backend": community_qubo.backend,
-            },
+            metadata=metadata,
         )

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.api.config import Configurable
 from repro.api.registry import DETECTORS, SolverConfigurable
 from repro.community.direct import DirectQuboDetector
 from repro.community.modularity import modularity
-from repro.community.refinement import refine_labels
+from repro.community.refinement import check_partition, refine_labels
 from repro.community.result import CommunityResult
 from repro.graphs.coarsen import coarsen_to_threshold
 from repro.graphs.graph import Graph
@@ -141,8 +143,20 @@ class MultilevelDetector(SolverConfigurable):
         """The base-level QUBO solver."""
         return self._base_detector.solver
 
-    def detect(self, graph: Graph, n_communities: int) -> CommunityResult:
-        """Detect at most ``n_communities`` communities in ``graph``."""
+    def detect(
+        self,
+        graph: Graph,
+        n_communities: int,
+        initial_partition: np.ndarray | None = None,
+    ) -> CommunityResult:
+        """Detect at most ``n_communities`` communities in ``graph``.
+
+        ``initial_partition`` (optional) warm-starts the finest level:
+        the previous partition is refined by local moving on ``graph``
+        and competes by modularity with the multilevel result (on the
+        degenerate small-graph path it is forwarded to the direct
+        detector).  Without it, seeded cold runs are unchanged.
+        """
         check_integer(n_communities, "n_communities", minimum=1)
         cfg = self.config
         watch = Stopwatch().start()
@@ -169,7 +183,9 @@ class MultilevelDetector(SolverConfigurable):
         )
         if hierarchy is None:
             # Already small enough: Algorithm 2 degenerates to a direct solve.
-            base = self._base_detector.detect(graph, n_communities)
+            base = self._base_detector.detect(
+                graph, n_communities, initial_partition=initial_partition
+            )
             watch.stop()
             return CommunityResult(
                 labels=base.labels,
@@ -198,19 +214,37 @@ class MultilevelDetector(SolverConfigurable):
                     seed=cfg.refine_seed,
                 )
                 refinement_moves += moves
+        score = modularity(graph, labels)
+        metadata = {
+            "levels": hierarchy.n_levels,
+            "coarsest_nodes": hierarchy.coarsest_graph.n_nodes,
+            "base_modularity": base.modularity,
+            "refinement_moves": refinement_moves,
+            "threshold": cfg.threshold,
+        }
+        if initial_partition is not None:
+            # Warm start at the finest level: refine the previous
+            # partition on the current graph and keep the better
+            # candidate (ties go to the cold multilevel result).
+            warm = check_partition(graph, initial_partition)
+            warm, _ = refine_labels(
+                graph,
+                warm,
+                max_passes=max(1, cfg.refine_passes),
+                seed=cfg.refine_seed,
+            )
+            warm_score = modularity(graph, warm)
+            metadata["warm_start"] = True
+            metadata["warm_selected"] = bool(warm_score > score)
+            if warm_score > score:
+                labels, score = warm, warm_score
         watch.stop()
 
         return CommunityResult(
             labels=labels,
-            modularity=modularity(graph, labels),
+            modularity=score,
             method=f"multilevel[{self.solver.name}]",
             wall_time=watch.elapsed,
             solve_result=base.solve_result,
-            metadata={
-                "levels": hierarchy.n_levels,
-                "coarsest_nodes": hierarchy.coarsest_graph.n_nodes,
-                "base_modularity": base.modularity,
-                "refinement_moves": refinement_moves,
-                "threshold": cfg.threshold,
-            },
+            metadata=metadata,
         )

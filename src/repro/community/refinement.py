@@ -21,6 +21,31 @@ from repro.graphs.graph import Graph
 from repro.utils.validation import check_integer
 
 
+def check_partition(graph: Graph, labels: np.ndarray) -> np.ndarray:
+    """Validate a caller-supplied partition (warm starts, projections).
+
+    Returns the labels as a fresh ``int64`` array of shape
+    ``(n_nodes,)``; raises :class:`repro.exceptions.PartitionError` on
+    wrong shape, non-integer values or negative labels.
+    """
+    arr = np.asarray(labels)
+    if arr.shape != (graph.n_nodes,):
+        raise PartitionError(
+            f"partition must have shape ({graph.n_nodes},), "
+            f"got {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        if arr.size and not np.all(np.equal(np.mod(arr, 1), 0)):
+            raise PartitionError(
+                "partition labels must be integers, got dtype "
+                f"{arr.dtype}"
+            )
+    out = arr.astype(np.int64)
+    if out.size and int(out.min()) < 0:
+        raise PartitionError("partition labels must be non-negative")
+    return out
+
+
 def refine_labels(
     graph: Graph,
     labels: np.ndarray,

@@ -34,6 +34,7 @@ from repro.qubo.random_instances import (
     QuboInstance,
     random_qubo,
 )
+from repro.qubo.streaming import CommunityQuboPatcher
 from repro.qubo.analysis import qubo_density, qubo_statistics
 from repro.qubo.transformations import (
     IsingModel,
@@ -72,6 +73,7 @@ __all__ = [
     "FlipDeltaState",
     "BatchFlipDeltaState",
     "CommunityQubo",
+    "CommunityQuboPatcher",
     "VariableMap",
     "build_community_qubo",
     "default_penalties",

@@ -378,6 +378,71 @@ class FlipDeltaState:
         ).copy()
         self._energy = float(self._model.evaluate(self._x))
 
+    def repatch(
+        self, model: BaseQubo, rows: ArrayLike | None = None
+    ) -> None:
+        """Rebind the state to a patched model, refreshing stale rows.
+
+        The streaming path patches a model's coefficients instead of
+        rebuilding it (:meth:`repro.qubo.SparseQuboModel.patch`); this
+        is the matching state-side operation.  The coupling and factor
+        slots the flip updates read are rewired to ``model``, and the
+        maintained fields of ``rows`` are re-materialised from it.
+        Rows not listed keep their maintained values — by passing a
+        subset the caller asserts the patch left those rows'
+        coefficients untouched.  ``rows=None`` (the default)
+        re-materialises everything: one full :meth:`refresh`.
+
+        The restricted recompute replays the full mat-vec's per-row
+        accumulation (CSR mat-vecs are row-sequential), so on sparse
+        models the listed rows come out bit-exact against
+        :meth:`refresh`.  The running energy is always re-evaluated in
+        full — it has no row structure to exploit.
+        """
+        if not isinstance(model, BaseQubo):
+            raise QuboError(
+                f"model must be a BaseQubo, got {type(model).__name__}"
+            )
+        if model.n_variables != self.n_variables:
+            raise QuboError(
+                f"patched model must keep {self.n_variables} variables, "
+                f"got {model.n_variables}"
+            )
+        self._model = model
+        _bind_model_slots(self, model)
+        if rows is None:
+            self.refresh()
+            return
+        idx = np.asarray(rows, dtype=np.intp)
+        if idx.size:
+            self._fields[idx] = self._recompute_fields(idx)
+        self._energy = float(model.evaluate(self._x))
+
+    def _recompute_fields(self, rows: np.ndarray) -> np.ndarray:
+        """Exact recompute of the maintained fields for ``rows`` only."""
+        vec = self._x
+        if self._dense_rows is not None:
+            product = self._dense_rows[rows] @ vec
+        else:
+            product = np.asarray(self._model.coupling[rows] @ vec).ravel()
+        if self._f_alpha is not None:
+            n_factors = self._f_alpha.shape[0]
+            f_mat = sparse.csr_matrix(
+                (self._f_row_data, self._f_row_indices, self._f_row_indptr),
+                shape=(n_factors, vec.shape[0]),
+            )
+            transpose = sparse.csr_matrix(
+                (self._f_col_data, self._f_col_indices, self._f_col_indptr),
+                shape=(vec.shape[0], n_factors),
+            )
+            weighted = self._f_alpha * (f_mat @ vec)
+            projected = np.asarray(transpose[rows] @ weighted).ravel()
+            product = product + (projected - self._f_diag[rows] * vec[rows])
+        linear = np.asarray(
+            self._model.effective_linear, dtype=np.float64
+        )
+        return np.asarray(2.0 * product + linear[rows], dtype=np.float64)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"FlipDeltaState(n_variables={self.n_variables}, "
@@ -571,6 +636,64 @@ class BatchFlipDeltaState:
         self._energies = np.asarray(
             self._model.evaluate_batch(self._x), dtype=np.float64
         ).copy()
+
+    def repatch(
+        self, model: BaseQubo, rows: ArrayLike | None = None
+    ) -> None:
+        """Rebind the batch to a patched model, refreshing stale rows.
+
+        The batched counterpart of :meth:`FlipDeltaState.repatch`:
+        ``rows`` lists the variable indices whose coefficients the
+        patch touched, and only those columns of the ``(batch, n)``
+        fields are re-materialised, for every trajectory at once.
+        ``rows=None`` (the default) is one full :meth:`refresh`.  The
+        running energies are always re-evaluated in full.
+        """
+        if not isinstance(model, BaseQubo):
+            raise QuboError(
+                f"model must be a BaseQubo, got {type(model).__name__}"
+            )
+        if model.n_variables != self._x.shape[1]:
+            raise QuboError(
+                f"patched model must keep {self._x.shape[1]} variables, "
+                f"got {model.n_variables}"
+            )
+        self._model = model
+        _bind_model_slots(self, model)
+        if rows is None:
+            self.refresh()
+            return
+        idx = np.asarray(rows, dtype=np.intp)
+        if idx.size:
+            self._fields[:, idx] = self._recompute_fields(idx)
+        self._energies = np.asarray(
+            model.evaluate_batch(self._x), dtype=np.float64
+        ).copy()
+
+    def _recompute_fields(self, cols: np.ndarray) -> np.ndarray:
+        """Exact recompute of the maintained field columns ``cols``."""
+        batch = self._x
+        if self._dense_rows is not None:
+            product = batch @ self._dense_rows[:, cols]
+        else:
+            product = np.asarray(
+                self._model.coupling[cols].dot(batch.T)
+            ).T
+        if self._f_alpha is not None:
+            n_factors = self._f_alpha.shape[0]
+            transpose = sparse.csr_matrix(
+                (self._f_col_data, self._f_col_indices, self._f_col_indptr),
+                shape=(batch.shape[1], n_factors),
+            )
+            weighted = (batch @ transpose) * self._f_alpha
+            projected = np.asarray(transpose[cols] @ weighted.T).T
+            product = product + (
+                projected - batch[:, cols] * self._f_diag[cols]
+            )
+        linear = np.asarray(
+            self._model.effective_linear, dtype=np.float64
+        )
+        return np.asarray(2.0 * product + linear[cols], dtype=np.float64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -312,6 +312,53 @@ class QuboModel(BaseQubo):
         return model
 
     # ------------------------------------------------------------------
+    # Streaming patches
+    # ------------------------------------------------------------------
+    def patch(
+        self,
+        *,
+        coupling: np.ndarray | None = None,
+        effective_linear: np.ndarray | None = None,
+        offset: float | None = None,
+    ) -> "QuboModel":
+        """A new model with replacement canonical arrays spliced in.
+
+        The streaming path's counterpart of :meth:`from_arrays`: every
+        argument left ``None`` is shared with this model (instances are
+        immutable, so sharing is safe), and nothing is re-canonicalised
+        — ``coupling`` must already be symmetric with a zero diagonal
+        and ``effective_linear`` must already carry the folded
+        diagonal.  See
+        :class:`repro.qubo.streaming.CommunityQuboPatcher` for the
+        community-QUBO patcher that computes these arrays bit-exactly
+        versus a from-scratch rebuild.
+        """
+        n = self.n_variables
+        model: "QuboModel" = type(self).__new__(type(self))
+        if coupling is None:
+            model._coupling = self._coupling
+        else:
+            arr = np.asarray(coupling, dtype=np.float64)
+            if arr.shape != (n, n):
+                raise QuboError(
+                    f"patched coupling must have shape {(n, n)}, "
+                    f"got {arr.shape}"
+                )
+            model._coupling = arr
+        if effective_linear is None:
+            model._effective_linear = self._effective_linear
+        else:
+            linear = np.asarray(effective_linear, dtype=np.float64)
+            if linear.shape != (n,):
+                raise QuboError(
+                    f"patched effective_linear must have shape ({n},), "
+                    f"got {linear.shape}"
+                )
+            model._effective_linear = linear
+        model._offset = self._offset if offset is None else float(offset)
+        return model
+
+    # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
     def to_dense(self) -> "QuboModel":

@@ -433,6 +433,120 @@ class SparseQuboModel(BaseQubo):
         return model
 
     # ------------------------------------------------------------------
+    # Streaming patches
+    # ------------------------------------------------------------------
+    def patch(
+        self,
+        *,
+        coupling: sparse.csr_matrix
+        | tuple[np.ndarray, np.ndarray, np.ndarray]
+        | None = None,
+        effective_linear: np.ndarray | None = None,
+        offset: float | None = None,
+        factor_data: np.ndarray | None = None,
+        factor_coefficients: np.ndarray | None = None,
+        factor_diagonal: np.ndarray | None = None,
+    ) -> "SparseQuboModel":
+        """A new model with replacement canonical arrays spliced in.
+
+        The streaming path's counterpart of :meth:`from_arrays`: every
+        argument left ``None`` is *shared* with this model (instances
+        are immutable, so sharing is safe), and — exactly like
+        ``from_arrays`` — nothing is re-canonicalised.  ``coupling``
+        must already be the symmetric zero-diagonal CSR with explicit
+        zeros eliminated; ``effective_linear``/``offset`` must already
+        carry the folded diagonal and factor parts; ``factor_data``
+        replaces the factor matrix's data over its *unchanged* sparsity
+        structure (the transposed copy is rebuilt deterministically,
+        the cached CSC stays lazy).
+
+        :class:`repro.qubo.streaming.CommunityQuboPatcher` computes
+        these arrays from an edge-event batch so that the patched model
+        is bit-exact versus a from-scratch
+        :func:`repro.qubo.builders.build_community_qubo` rebuild.
+        """
+        n = self.n_variables
+        model: "SparseQuboModel" = type(self).__new__(type(self))
+        if coupling is None:
+            model._coupling = self._coupling
+        elif isinstance(coupling, tuple):
+            data, indices, indptr = coupling
+            model._coupling = sparse.csr_matrix(
+                (data, indices, indptr), shape=(n, n)
+            )
+        else:
+            if coupling.shape != (n, n):
+                raise QuboError(
+                    f"patched coupling must have shape {(n, n)}, "
+                    f"got {coupling.shape}"
+                )
+            model._coupling = coupling.tocsr()
+        if effective_linear is None:
+            model._effective_linear = self._effective_linear
+        else:
+            linear = np.asarray(effective_linear, dtype=np.float64)
+            if linear.shape != (n,):
+                raise QuboError(
+                    f"patched effective_linear must have shape ({n},), "
+                    f"got {linear.shape}"
+                )
+            model._effective_linear = linear
+        model._offset = self._offset if offset is None else float(offset)
+
+        model._factor_matrix = self._factor_matrix
+        model._factor_matrix_t = self._factor_matrix_t
+        model._factor_matrix_csc = self._factor_matrix_csc
+        model._factor_coefficients = self._factor_coefficients
+        model._factor_diagonal = self._factor_diagonal
+        touched_factors = (
+            factor_data is not None
+            or factor_coefficients is not None
+            or factor_diagonal is not None
+        )
+        if touched_factors:
+            if self._factor_matrix is None:
+                raise QuboError(
+                    "cannot patch factors of a model built without them"
+                )
+            if factor_data is not None:
+                data = np.asarray(factor_data, dtype=np.float64)
+                if data.shape != self._factor_matrix.data.shape:
+                    raise QuboError(
+                        "patched factor_data must match the factor "
+                        f"structure ({self._factor_matrix.data.shape}), "
+                        f"got {data.shape}"
+                    )
+                f_mat = sparse.csr_matrix(
+                    (
+                        data,
+                        self._factor_matrix.indices,
+                        self._factor_matrix.indptr,
+                    ),
+                    shape=self._factor_matrix.shape,
+                )
+                model._factor_matrix = f_mat
+                model._factor_matrix_t = f_mat.T.tocsr()
+                model._factor_matrix_csc = None
+            if factor_coefficients is not None:
+                alpha = np.asarray(factor_coefficients, dtype=np.float64)
+                if alpha.shape != self._factor_coefficients.shape:
+                    raise QuboError(
+                        "patched factor_coefficients must have shape "
+                        f"{self._factor_coefficients.shape}, "
+                        f"got {alpha.shape}"
+                    )
+                model._factor_coefficients = alpha
+            if factor_diagonal is not None:
+                diag = np.asarray(factor_diagonal, dtype=np.float64)
+                if diag.shape != (n,):
+                    raise QuboError(
+                        "patched factor_diagonal must have shape "
+                        f"({n},), got {diag.shape}"
+                    )
+                model._factor_diagonal = diag
+        return model
+
+    # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
     def to_dense(self) -> QuboModel:

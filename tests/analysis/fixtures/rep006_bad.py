@@ -1,0 +1,16 @@
+"""REP006 fixture: flip-delta repatching inside event loops."""
+
+
+def replay(state, patcher, graph, batches):
+    for events in batches:
+        graph, touched = graph.apply_updates(events)
+        model = patcher.update(graph, touched_nodes=touched)
+        state.repatch(model)
+    return state.energy
+
+
+def drain(state, queue):
+    while queue:
+        model = queue.pop()
+        state.repatch(model, rows=None)
+    return state

@@ -19,7 +19,10 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: Exemption-free config: fixture paths live under ``tests/`` which the
 #: shipped defaults exempt for REP003, so tests zero the path lists out.
 STRICT = LintConfig(
-    rep001_exempt=(), rep003_allowed=(), rep005_allow_pickle=()
+    rep001_exempt=(),
+    rep003_allowed=(),
+    rep005_allow_pickle=(),
+    rep006_exempt=(),
 )
 
 
@@ -154,3 +157,18 @@ class TestRep005:
         engine = LintEngine(rules=["REP005"], config=STRICT)
         # __init__ writes _hits/_idle without the lock — allowed.
         assert engine.lint_source(src) == []
+
+
+class TestRep006:
+    def test_flags_both_loop_kinds(self):
+        findings = lint_fixture("REP006", "bad")
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert all(".repatch()" in m for m in messages)
+
+    def test_exempt_paths_skip_the_rule(self):
+        engine = LintEngine(rules=["REP006"], config=LintConfig())
+        src = fixture_path("REP006", "bad").read_text(encoding="utf-8")
+        # The delta engine's own cadence logic is the mechanism — exempt.
+        assert engine.lint_source(src, path="repro/qubo/delta.py") == []
+        assert engine.lint_source(src, path="repro/api/stream.py")

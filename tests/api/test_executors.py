@@ -254,3 +254,35 @@ class TestGraphWireFormat:
         tag, payload = runner._encode_input({"not": "a model"})
         assert tag == "object"
         assert runner._decode_input(tag, payload) == {"not": "a model"}
+
+
+@pytest.mark.parametrize("executor", ["thread", "process", "auto"])
+class TestEmptyBatch:
+    """An empty input list returns [] on every backend, touching nothing."""
+
+    def test_detect_batch_empty(self, executor):
+        with Session(max_workers=2, executor=executor) as session:
+            assert session.detect_batch([], QHD_SPEC) == []
+            assert session.detect_batch(iter(()), QHD_SPEC) == []
+            # No executor was spun up and no run was counted.
+            assert session._thread_executor is None
+            assert session._process_executor is None
+            assert session.stats()["runs"] == 0
+
+    def test_solve_batch_empty(self, executor):
+        with Session(max_workers=2, executor=executor) as session:
+            assert session.solve_batch([], SOLVE_SPEC) == []
+            assert session._thread_executor is None
+            assert session._process_executor is None
+            assert session.stats()["runs"] == 0
+
+    def test_engine_pool_untouched(self, executor):
+        with Session(max_workers=2, executor=executor) as session:
+            session.detect_batch([], QHD_SPEC)
+            stats = session.stats()["engine_pool"]
+            assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+def test_module_level_empty_batches():
+    assert api.detect_batch([], QHD_SPEC) == []
+    assert api.solve_batch([], SOLVE_SPEC) == []

@@ -1,0 +1,215 @@
+"""Behavioural contract of ``api.detect_stream`` (streaming detection).
+
+The golden ``stream_*`` fixtures pin exact artifacts; these tests pin
+the semantics: one artifact per batch, deterministic across runs and
+session executors, warm starts never losing modularity to the cold
+per-batch run, and the empty/error edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api.session import Session, SessionError
+from repro.api.spec import SpecError
+from repro.graphs.generators import ring_of_cliques
+from repro.graphs.graph import Graph
+
+SPEC = {
+    "detector": "direct",
+    "solver": "simulated-annealing",
+    "solver_config": {"n_sweeps": 40, "n_restarts": 2},
+    "n_communities": 3,
+    "seed": 7,
+}
+
+UPDATES = [
+    [("insert", 0, 8, 2.0), ("delete", 0, 1)],
+    [("reweight", 3, 4, 0.5), ("insert", 2, 10)],
+    [],
+    [("delete", 2, 10), ("insert", 1, 5, 1.5)],
+]
+
+
+def _graph():
+    return ring_of_cliques(3, 5)[0]
+
+
+def _labels(artifacts):
+    return [a.result.labels.tolist() for a in artifacts]
+
+
+class TestDetectStream:
+    def test_one_artifact_per_batch_with_stream_metadata(self):
+        artifacts = list(api.detect_stream(_graph(), UPDATES, SPEC))
+        assert [a.index for a in artifacts] == [0, 1, 2, 3]
+        for index, artifact in enumerate(artifacts):
+            meta = artifact.result.metadata
+            assert meta["stream_batch"] == index
+        assert artifacts[2].result.metadata["stream_touched_nodes"] == 0
+        assert artifacts[0].result.metadata["stream_touched_nodes"] == 3
+
+    def test_deterministic_across_runs_and_executors(self):
+        reference = list(api.detect_stream(_graph(), UPDATES, SPEC))
+        for executor in ("thread", "process"):
+            with Session(max_workers=2, executor=executor) as session:
+                got = list(session.detect_stream(_graph(), UPDATES, SPEC))
+            assert _labels(got) == _labels(reference)
+            for a, b in zip(got, reference):
+                assert a.result.modularity == b.result.modularity
+                assert a.result.metadata == b.result.metadata
+
+    def test_warm_start_never_below_cold_run(self):
+        warm = list(api.detect_stream(_graph(), UPDATES, SPEC))
+        cold = list(
+            api.detect_stream(_graph(), UPDATES, SPEC, warm_start=False)
+        )
+        for w, c in zip(warm, cold):
+            # The warm run keeps its own cold candidate (same seed, so
+            # identical to the cold stream's) and only switches when
+            # strictly better.
+            assert w.result.modularity >= c.result.modularity
+
+    def test_cold_stream_has_no_warm_metadata(self):
+        artifacts = list(
+            api.detect_stream(_graph(), UPDATES, SPEC, warm_start=False)
+        )
+        for artifact in artifacts:
+            assert "warm_start" not in artifact.result.metadata
+            assert "warm_selected" not in artifact.result.metadata
+
+    def test_first_batch_runs_cold_then_warm(self):
+        artifacts = list(api.detect_stream(_graph(), UPDATES, SPEC))
+        assert "warm_start" not in artifacts[0].result.metadata
+        for artifact in artifacts[1:]:
+            assert artifact.result.metadata["warm_start"] is True
+            assert isinstance(
+                artifact.result.metadata["warm_selected"], bool
+            )
+
+    def test_updates_consumed_lazily(self):
+        consumed = []
+
+        def batches():
+            for index, batch in enumerate(UPDATES):
+                consumed.append(index)
+                yield batch
+
+        stream = api.detect_stream(_graph(), batches(), SPEC)
+        assert consumed == []
+        next(stream)
+        assert consumed == [0]
+
+    def test_empty_update_stream_yields_nothing(self):
+        assert list(api.detect_stream(_graph(), [], SPEC)) == []
+
+    def test_requires_n_communities(self):
+        spec = {k: v for k, v in SPEC.items() if k != "n_communities"}
+        with pytest.raises(SpecError):
+            api.detect_stream(_graph(), UPDATES, spec)
+
+    def test_closed_session_raises(self):
+        session = Session()
+        stream = session.detect_stream(_graph(), UPDATES, SPEC)
+        session.close()
+        with pytest.raises(SessionError):
+            next(stream)
+
+    def test_input_graph_never_mutated(self):
+        graph = _graph()
+        edges_before = sorted(graph.edges())
+        list(api.detect_stream(graph, UPDATES, SPEC))
+        assert sorted(graph.edges()) == edges_before
+
+    def test_multilevel_stream_warm_starts(self):
+        graph, _ = ring_of_cliques(4, 5)
+        spec = {
+            "detector": "multilevel",
+            "detector_config": {"config": {"threshold": 8}},
+            "solver": "greedy",
+            "solver_config": {"n_restarts": 2},
+            "n_communities": 4,
+            "seed": 3,
+        }
+        artifacts = list(api.detect_stream(graph, UPDATES, spec))
+        assert artifacts[1].result.metadata["warm_start"] is True
+        repeat = list(api.detect_stream(graph, UPDATES, spec))
+        assert _labels(artifacts) == _labels(repeat)
+
+
+class TestWarmStartSupport:
+    def test_signature_probe(self):
+        from repro.api.runner import _supports_warm_start
+
+        class WithWarm:
+            def detect(self, graph, n_communities, initial_partition=None):
+                raise NotImplementedError
+
+        class Without:
+            def detect(self, graph, n_communities):
+                raise NotImplementedError
+
+        assert _supports_warm_start(WithWarm())
+        assert not _supports_warm_start(Without())
+
+    def test_detectors_accept_initial_partition(self):
+        """Every registered QUBO detector takes the warm-start knob."""
+        import inspect
+
+        from repro.api import DETECTORS
+
+        for name in ("direct", "multilevel", "qhd", "adaptive"):
+            cls = DETECTORS.get(name)
+            params = inspect.signature(cls.detect).parameters
+            assert "initial_partition" in params, name
+
+    def test_warm_start_on_identical_graph_is_selected(self):
+        """Re-detecting with the previous answer keeps or beats it."""
+        graph = _graph()
+        cold = api.detect(graph, SPEC)
+        detector = api.build_detector(api.RunSpec.from_dict(SPEC))
+        warm = detector.detect(
+            graph, 3, initial_partition=cold.result.labels
+        )
+        assert warm.metadata["warm_start"] is True
+        assert warm.modularity >= cold.result.modularity
+
+    def test_invalid_initial_partition_rejected(self):
+        from repro.exceptions import PartitionError
+
+        graph = _graph()
+        detector = api.build_detector(api.RunSpec.from_dict(SPEC))
+        with pytest.raises(PartitionError):
+            detector.detect(
+                graph, 3, initial_partition=np.zeros(3, dtype=np.int64)
+            )
+        with pytest.raises(PartitionError):
+            detector.detect(
+                graph,
+                3,
+                initial_partition=np.full(graph.n_nodes, -1),
+            )
+
+    def test_cold_path_unchanged_by_warm_start_kwarg(self):
+        """No initial_partition -> byte-identical historical behaviour."""
+        graph = _graph()
+        a = api.detect(graph, SPEC)
+        b = api.detect(graph, SPEC)
+        assert a.result.labels.tolist() == b.result.labels.tolist()
+        assert "warm_start" not in a.result.metadata
+
+
+class TestLabelTracking:
+    def test_out_of_range_labels_restart_trajectory(self):
+        """Detectors emitting labels >= k cannot be one-hot tracked."""
+        from repro.api.stream import _WarmModelState
+
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        state = _WarmModelState(graph, 2)
+        state.track(np.array([0, 1, 0, 1]))
+        assert state._state is not None
+        state.track(np.array([0, 5, 0, 1]))
+        assert state._state is None
+        assert state.warm_labels(graph) is None

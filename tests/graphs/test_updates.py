@@ -1,0 +1,128 @@
+"""Edge cases of :meth:`Graph.apply_updates` (the streaming substrate).
+
+The streaming pipeline leans on ``apply_updates`` producing graphs
+indistinguishable from direct construction — same canonical edge
+arrays, same sorted-CSR-row invariants ``has_edge`` binary-searches,
+same duplicate-merging — so these cases pin exactly the corners where
+an incremental implementation could diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+def _assert_csr_identical(a: Graph, b: Graph) -> None:
+    for left, right in zip(a.csr(), b.csr()):
+        np.testing.assert_array_equal(left, right)
+
+
+class TestDeleteMissing:
+    def test_deleting_missing_edge_is_a_noop(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        updated, touched = graph.apply_updates([("delete", 0, 3)])
+        _assert_csr_identical(updated, graph)
+        assert sorted(updated.edges()) == sorted(graph.edges())
+        # No-op endpoints still count as touched: their rows may need a
+        # coefficient re-check downstream even when nothing changed.
+        assert touched.tolist() == [0, 3]
+
+    def test_delete_then_reinsert_in_one_batch(self):
+        graph = Graph(3, [(0, 1, 2.0)])
+        # Deletes apply before inserts regardless of listed order, so
+        # the insert lands on the already-deleted edge.
+        updated, _ = graph.apply_updates(
+            [("insert", 0, 1, 5.0), ("delete", 0, 1)]
+        )
+        assert updated.has_edge(0, 1)
+        assert sorted(updated.edges()) == [(0, 1, 5.0)]
+
+
+class TestDuplicateEvents:
+    def test_duplicate_inserts_merge_by_summation(self):
+        graph = Graph(4, [(0, 1)])
+        updated, _ = graph.apply_updates(
+            [("insert", 2, 3, 1.5), ("insert", 3, 2, 2.5)]
+        )
+        reference = Graph(4, [(0, 1), (2, 3, 1.5), (3, 2, 2.5)])
+        _assert_csr_identical(updated, reference)
+        assert sorted(updated.edges()) == [(0, 1, 1.0), (2, 3, 4.0)]
+
+    def test_insert_onto_existing_edge_sums(self):
+        graph = Graph(3, [(0, 1, 2.0)])
+        updated, _ = graph.apply_updates([("insert", 1, 0, 3.0)])
+        assert sorted(updated.edges()) == [(0, 1, 5.0)]
+
+    def test_duplicate_reweights_last_wins(self):
+        graph = Graph(3, [(0, 1, 2.0)])
+        updated, _ = graph.apply_updates(
+            [("reweight", 0, 1, 9.0), ("reweight", 1, 0, 4.0)]
+        )
+        assert sorted(updated.edges()) == [(0, 1, 4.0)]
+
+
+class TestComponentChanges:
+    def test_insert_bridges_components(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert len(graph.connected_components()) == 2
+        updated, _ = graph.apply_updates([("insert", 2, 3)])
+        assert len(updated.connected_components()) == 1
+
+    def test_delete_splits_components(self):
+        graph = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        assert len(graph.connected_components()) == 1
+        updated, _ = graph.apply_updates([("delete", 2, 3)])
+        assert len(updated.connected_components()) == 2
+        # And the split graph matches direct construction entirely.
+        _assert_csr_identical(
+            updated, Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        )
+
+
+class TestEmptyBatch:
+    def test_empty_batch_returns_identical_csr(self):
+        graph = Graph(5, [(0, 1, 2.0), (2, 2, 1.5), (3, 4)])
+        updated, touched = graph.apply_updates([])
+        assert updated is not graph
+        assert touched.size == 0
+        _assert_csr_identical(updated, graph)
+        np.testing.assert_array_equal(updated.degrees, graph.degrees)
+        assert updated.total_weight == graph.total_weight
+
+    def test_empty_batch_preserves_has_edge_invariants(self):
+        graph = Graph(5, [(1, 4), (0, 3), (2, 2)])
+        updated, _ = graph.apply_updates([])
+        indptr, indices, _ = updated.csr()
+        # has_edge binary-searches each row: rows must stay sorted.
+        for node in range(updated.n_nodes):
+            row = indices[indptr[node] : indptr[node + 1]]
+            assert np.all(np.diff(row) >= 0)
+        for u in range(5):
+            for v in range(5):
+                assert updated.has_edge(u, v) == graph.has_edge(u, v)
+
+
+class TestEventValidation:
+    def test_unknown_op_raises(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.apply_updates([("upsert", 0, 1)])
+
+    def test_reweight_requires_weight(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.apply_updates([("reweight", 0, 1)])
+
+    def test_out_of_range_endpoint_raises(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.apply_updates([("insert", 0, 3)])
+
+    def test_dict_events_with_unknown_keys_raise(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.apply_updates([{"op": "insert", "u": 0, "v": 1, "x": 2}])

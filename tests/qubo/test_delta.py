@@ -494,3 +494,132 @@ class TestBatchRefreshCadence:
         state = BatchFlipDeltaState(model, np.zeros((2, model.n_variables)))
         assert state.refresh_every is None
         assert state.n_flips == 0
+
+
+class TestRepatch:
+    """``repatch``: re-anchor a live state to a patched model.
+
+    Full repatch (rows=None) must equal a fresh state on the new model
+    bit-exactly on every backend; rows-restricted repatch must be
+    bit-exact for the recomputed rows on the sparse backends (the
+    streaming pipeline's contract) and leave other rows untouched.
+    """
+
+    @pytest.mark.parametrize(
+        "factory", [_dense_model, _sparse_model, _factor_model,
+                    _random_factor_model]
+    )
+    def test_full_repatch_equals_fresh_state(self, factory):
+        model = factory(seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 2, size=model.n_variables).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        for _ in range(5):
+            state.flip(int(rng.integers(model.n_variables)))
+        patched = model.patch(
+            effective_linear=np.asarray(model.effective_linear) + 0.25
+        )
+        state.repatch(patched)
+        reference = FlipDeltaState(patched, state.x)
+        np.testing.assert_array_equal(state.deltas(), reference.deltas())
+        assert state.energy == reference.energy
+        assert state.model is patched
+
+    @pytest.mark.parametrize(
+        "factory", [_sparse_model, _factor_model, _random_factor_model]
+    )
+    def test_row_restricted_repatch_bit_exact_sparse(self, factory):
+        model = factory(seed=2)
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 2, size=model.n_variables).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        rows = np.unique(
+            rng.integers(0, model.n_variables, size=4)
+        )
+        new_linear = np.asarray(model.effective_linear).copy()
+        new_linear[rows] += 1.5
+        patched = model.patch(effective_linear=new_linear)
+        state.repatch(patched, rows=rows)
+        reference = FlipDeltaState(patched, x)
+        np.testing.assert_array_equal(state.deltas(), reference.deltas())
+        assert state.energy == reference.energy
+
+    def test_row_restricted_repatch_dense_single_bit_exact(self):
+        model = _dense_model(seed=4)
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 2, size=model.n_variables).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        rows = np.array([0, 7, 19])
+        new_linear = np.asarray(model.effective_linear).copy()
+        new_linear[rows] -= 2.0
+        patched = model.patch(effective_linear=new_linear)
+        state.repatch(patched, rows=rows)
+        reference = FlipDeltaState(patched, x)
+        np.testing.assert_array_equal(state.deltas(), reference.deltas())
+
+    def test_empty_rows_recomputes_energy_only(self):
+        model = _sparse_model(seed=6)
+        rng = np.random.default_rng(7)
+        x = rng.integers(0, 2, size=model.n_variables).astype(np.float64)
+        state = FlipDeltaState(model, x)
+        before = state.deltas().copy()
+        patched = model.patch(offset=model.offset + 3.0)
+        state.repatch(patched, rows=np.array([], dtype=np.intp))
+        np.testing.assert_array_equal(state.deltas(), before)
+        assert state.energy == float(patched.evaluate(x))
+
+    def test_rejects_model_shape_mismatch(self):
+        model = _dense_model(seed=8, n=16)
+        other = _dense_model(seed=8, n=17)
+        x = np.zeros(16)
+        state = FlipDeltaState(model, x)
+        with pytest.raises(QuboError):
+            state.repatch(other)
+        with pytest.raises(QuboError):
+            state.repatch("not a model")
+
+    @pytest.mark.parametrize(
+        "factory", [_sparse_model, _factor_model, _random_factor_model]
+    )
+    def test_batch_full_and_row_restricted_sparse(self, factory):
+        model = factory(seed=9)
+        rng = np.random.default_rng(10)
+        batch = rng.integers(0, 2, size=(5, model.n_variables)).astype(
+            np.float64
+        )
+        state = BatchFlipDeltaState(model, batch)
+        patched = model.patch(
+            effective_linear=np.asarray(model.effective_linear) * 1.0
+        )
+        state.repatch(patched)
+        reference = BatchFlipDeltaState(patched, batch)
+        np.testing.assert_array_equal(state.deltas(), reference.deltas())
+        np.testing.assert_array_equal(state.energies, reference.energies)
+
+        cols = np.array([1, 3])
+        new_linear = np.asarray(model.effective_linear).copy()
+        new_linear[cols] += 0.75
+        patched = model.patch(effective_linear=new_linear)
+        state.repatch(patched, rows=cols)
+        reference = BatchFlipDeltaState(patched, batch)
+        np.testing.assert_array_equal(state.deltas(), reference.deltas())
+
+    def test_batch_dense_row_restricted_allclose(self):
+        # Dense batch row-restriction runs a GEMM on a column subset;
+        # BLAS blocking makes it allclose-level, not bit-exact (the
+        # full repatch above is exact — it re-materialises everything).
+        model = _dense_model(seed=11)
+        rng = np.random.default_rng(12)
+        batch = rng.integers(0, 2, size=(4, model.n_variables)).astype(
+            np.float64
+        )
+        state = BatchFlipDeltaState(model, batch)
+        cols = np.array([2, 9, 20])
+        new_linear = np.asarray(model.effective_linear).copy()
+        new_linear[cols] += 0.5
+        patched = model.patch(effective_linear=new_linear)
+        state.repatch(patched, rows=cols)
+        reference = BatchFlipDeltaState(patched, batch)
+        np.testing.assert_allclose(
+            state.deltas(), reference.deltas(), rtol=1e-12, atol=1e-12
+        )

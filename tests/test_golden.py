@@ -41,6 +41,9 @@ from regen_golden import (  # noqa: E402
     fixture_name,
     golden_combinations,
     run_combination,
+    run_stream_combination,
+    stream_detectors,
+    stream_fixture_name,
 )
 
 #: Relative tolerance of float leaf comparison (absolute for ~0 values).
@@ -49,7 +52,15 @@ FLOAT_ATOL = 1e-9
 
 
 def _fixture_paths() -> list[Path]:
-    return sorted(GOLDEN_DIR.glob("*.json"))
+    return sorted(
+        path
+        for path in GOLDEN_DIR.glob("*.json")
+        if not path.name.startswith("stream_")
+    )
+
+
+def _stream_fixture_paths() -> list[Path]:
+    return sorted(GOLDEN_DIR.glob("stream_*.json"))
 
 
 def _diff(golden, fresh, path, out: list[str]) -> None:
@@ -97,7 +108,13 @@ def _diff(golden, fresh, path, out: list[str]) -> None:
 def test_fixture_set_matches_registries():
     """One fixture per registered detector × solver × graph, no strays."""
     expected = {fixture_name(*combo) for combo in golden_combinations()}
-    present = {path.name for path in _fixture_paths()}
+    expected |= {
+        stream_fixture_name(detector) for detector in stream_detectors()
+    }
+    present = {
+        path.name
+        for path in _fixture_paths() + _stream_fixture_paths()
+    }
     missing = sorted(expected - present)
     stale = sorted(present - expected)
     assert not missing, (
@@ -130,6 +147,35 @@ def test_golden_trace(fixture_path: Path):
     _diff(payload["artifact"], fresh["artifact"], "artifact", diffs)
     assert not diffs, (
         f"{fixture_path.name} diverged from the golden trace "
+        f"({len(diffs)} field(s)):\n  " + "\n  ".join(diffs[:40]) + "\n"
+        "If this change is intentional, regenerate with "
+        "`PYTHONPATH=src python scripts/regen_golden.py` and commit the "
+        "fixture diff."
+    )
+
+
+@pytest.mark.parametrize(
+    "fixture_path",
+    _stream_fixture_paths(),
+    ids=lambda path: path.stem,
+)
+def test_golden_stream_trace(fixture_path: Path):
+    """Re-run the fixture's event stream; each per-batch artifact must
+    match the stored trace field by field — the streaming pipeline's
+    incremental QUBO patching, flip-delta warm starts and per-batch
+    detector runs are all pinned here."""
+    payload = json.loads(fixture_path.read_text(encoding="utf-8"))
+    fresh = run_stream_combination(payload["detector"])
+    diffs: list[str] = []
+    _diff(payload["spec"], fresh["spec"], "spec", diffs)
+    _diff(payload["events"], fresh["events"], "events", diffs)
+    assert len(payload["artifacts"]) == len(fresh["artifacts"])
+    for index, (golden, new) in enumerate(
+        zip(payload["artifacts"], fresh["artifacts"])
+    ):
+        _diff(golden, new, f"artifacts[{index}]", diffs)
+    assert not diffs, (
+        f"{fixture_path.name} diverged from the golden stream trace "
         f"({len(diffs)} field(s)):\n  " + "\n  ".join(diffs[:40]) + "\n"
         "If this change is intentional, regenerate with "
         "`PYTHONPATH=src python scripts/regen_golden.py` and commit the "
