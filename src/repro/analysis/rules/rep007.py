@@ -1,0 +1,132 @@
+"""REP007 — shared-memory segment hygiene (PR 9 contract).
+
+The process-executor wire ships batch inputs through
+:mod:`multiprocessing.shared_memory` segments.  A segment is a named
+kernel object: losing the Python handle does not free it, so an
+unmatched ``SharedMemory(create=True)`` leaks ``/dev/shm`` space until
+reboot.  The repository therefore confines all shared-memory use to the
+blessed wire module (``LintConfig.rep007_exempt``, default
+``api/shm.py``), and even there every creation site must keep an
+``unlink()`` call reachable from a ``finally`` block in the same
+function — the creator-unlinks-deterministically invariant the wire
+layer documents.
+
+Two findings:
+
+* any ``SharedMemory`` import or call in a file outside the blessed
+  module(s);
+* a ``SharedMemory(create=True)`` call whose enclosing function has no
+  ``try``/``finally`` whose ``finally`` body calls ``.unlink()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RULES, Rule
+
+_MODULE = "multiprocessing.shared_memory"
+
+
+def _is_shared_memory_ref(node: ast.AST) -> bool:
+    """Whether ``node`` names the ``SharedMemory`` class."""
+    name = dotted_name(node)
+    return name is not None and name.split(".")[-1] == "SharedMemory"
+
+
+def _creates_segment(call: ast.Call) -> bool:
+    """Whether ``call`` is ``SharedMemory(..., create=True, ...)``."""
+    if not _is_shared_memory_ref(call.func):
+        return False
+    for keyword in call.keywords:
+        if (
+            keyword.arg == "create"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+        ):
+            return True
+    return False
+
+
+def _enclosing_function(
+    ctx: FileContext, node: ast.AST
+) -> ast.AST:
+    """The function owning ``node``, or the module for top-level code."""
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = ctx.parent(current)
+    return ctx.tree
+
+
+def _finally_unlinks(scope: ast.AST) -> bool:
+    """Whether ``scope`` holds a ``finally`` body calling ``.unlink()``."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for final_stmt in node.finalbody:
+            for child in ast.walk(final_stmt):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "unlink"
+                ):
+                    return True
+    return False
+
+
+@RULES.register("REP007")
+class SharedMemoryHygiene(Rule):
+    """Confine SharedMemory to the wire module; pair create with unlink."""
+
+    summary = (
+        "SharedMemory stays inside the blessed wire module, and every "
+        "create=True site keeps unlink() reachable from a finally"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        blessed = ctx.path_matches(ctx.config.rep007_exempt)
+        for node in ast.walk(ctx.tree):
+            if not blessed and self._names_shared_memory(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "SharedMemory used outside the blessed wire module; "
+                    "route segments through repro.api.shm (or extend "
+                    "rep007-exempt) so creation and unlink stay in one "
+                    "audited place",
+                )
+                continue
+            if isinstance(node, ast.Call) and _creates_segment(node):
+                scope = _enclosing_function(ctx, node)
+                if not _finally_unlinks(scope):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "SharedMemory(create=True) without an unlink() "
+                        "reachable from a finally in the same function; "
+                        "a dropped handle leaks the named segment, so "
+                        "the creator must guarantee cleanup on every "
+                        "path",
+                    )
+
+    @staticmethod
+    def _names_shared_memory(node: ast.AST) -> bool:
+        """Imports of the shm module or uses of the SharedMemory name."""
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            return module == _MODULE or (
+                module == "multiprocessing"
+                and any(
+                    alias.name == "shared_memory" for alias in node.names
+                )
+            )
+        if isinstance(node, ast.Import):
+            return any(alias.name == _MODULE for alias in node.names)
+        if isinstance(node, ast.Call):
+            return _is_shared_memory_ref(node.func)
+        return False

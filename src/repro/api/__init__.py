@@ -65,6 +65,7 @@ _SESSION_EXPORTS = (
     "Session",
     "SessionError",
     "default_session",
+    "session_scope",
 )
 
 _STREAM_EXPORTS = ("detect_stream",)

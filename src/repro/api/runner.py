@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:
     from repro.api.session import Session
+    from repro.api.shm import ShmChunkReader
 
 from repro.api.registry import DETECTORS, SOLVERS, Registry
 from repro.api.spec import RunArtifact, RunSpec, SpecError
@@ -247,12 +248,32 @@ def _encode_input(item: Any) -> tuple[str, Any]:
     return ("object", item)
 
 
-def _decode_input(tag: str, payload: Any) -> Any:
-    """Worker-side inverse of :func:`_encode_input` (bit-exact)."""
+def _decode_input(
+    tag: str,
+    payload: Any,
+    reader: "ShmChunkReader | None" = None,
+) -> Any:
+    """Worker-side inverse of :func:`_encode_input` (bit-exact).
+
+    ``shm`` descriptors are first resolved through ``reader`` into the
+    underlying ``(tag, payload)`` pair as read-only segment views.
+    Array payloads are trusted as canonical — they are :meth:`to_arrays`
+    output on both wires — so graph reconstruction adopts them without
+    a canonicalisation pass (a stable no-op on canonical arrays,
+    skipped here so shared-memory views stay zero-copy).
+    """
+    if tag == "shm":
+        from repro.api.shm import ShmWireError
+
+        if reader is None:
+            raise ShmWireError(
+                "shm wire descriptor outside a chunk reader context"
+            )
+        tag, payload = reader.decode(payload)
     if tag == "graph":
         from repro.graphs.graph import Graph
 
-        return Graph.from_arrays(*payload)
+        return Graph.from_arrays(*payload, canonical=True)
     if tag == "qubo":
         from repro.qubo import model_from_arrays
 
@@ -282,7 +303,7 @@ def _worker_initializer(
 
 def _run_chunk(
     kind: str,
-    spec_dict: dict[str, Any],
+    spec_payload: dict[str, Any] | list[dict[str, Any]],
     chunk: list[tuple[int, tuple[str, Any]]],
 ) -> tuple[list[tuple[int, "RunArtifact"]], dict[str, float] | None]:
     """Process-pool task: run one chunk of encoded inputs sequentially.
@@ -290,20 +311,36 @@ def _run_chunk(
     ``chunk`` is a list of ``(index, (tag, payload))`` pairs carrying
     each input's position in the original batch, so the parent can
     reassemble results in order regardless of which worker ran which
-    chunk.  Returns the indexed artifacts plus the worker pool's
-    counter delta for this chunk (merged into the parent session's pool
-    counters), or ``None`` when pooling is disabled.
+    chunk.  ``spec_payload`` is either one spec dict shared by every
+    entry or a list of spec dicts aligned with the chunk (per-item
+    specs).  Shared-memory payloads are resolved through one
+    :class:`repro.api.shm.ShmChunkReader` whose attachments are closed
+    when the chunk exits — success or not.  Returns the indexed
+    artifacts plus the worker pool's counter delta for this chunk
+    (merged into the parent session's pool counters), or ``None`` when
+    pooling is disabled.
     """
+    from repro.api.shm import ShmChunkReader
     from repro.qhd import pool as qhd_pool
 
     pool = qhd_pool.process_pool()
-    spec = RunSpec.from_dict(spec_dict)
+    if isinstance(spec_payload, list):
+        specs = [RunSpec.from_dict(entry) for entry in spec_payload]
+    else:
+        shared = RunSpec.from_dict(spec_payload)
+        specs = [shared] * len(chunk)
     run_one = _detect_one if kind == "detect" else _solve_one
     before = pool.counter_snapshot() if pool is not None else None
     results = []
-    for index, (tag, payload) in chunk:
-        item = _decode_input(tag, payload)
-        results.append((index, run_one(item, spec, index, engine_pool=pool)))
+    with ShmChunkReader() as reader:
+        for (index, (tag, payload)), spec in zip(chunk, specs):
+            item = _decode_input(tag, payload, reader=reader)
+            results.append(
+                (index, run_one(item, spec, index, engine_pool=pool))
+            )
+            # Drop the reconstructed input before the reader closes so
+            # segment views don't pin the mapping past the chunk.
+            del item
     delta = (
         EnginePool.counter_delta(before, pool.counter_snapshot())
         if pool is not None

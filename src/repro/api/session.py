@@ -20,9 +20,17 @@ reusable runtime state:
 Process-mode handoff is array-native: graphs ship as
 :meth:`repro.graphs.Graph.to_arrays` tuples and QUBO models as
 ``to_arrays()`` bundles (see :mod:`repro.api.runner`), never pickled
-object graphs.  Batches are sharded into ``~4 × workers`` contiguous
-chunks pulled from the executor's shared queue, so a straggling chunk
-cannot serialise the tail; results are reassembled in input order.
+object graphs.  With ``wire="shm"`` (the ``"auto"`` default on the
+process backend) the arrays don't even ride the task payload: each
+unique input is written once per batch into
+:mod:`multiprocessing.shared_memory` segments
+(:mod:`repro.api.shm`) and chunks carry only ``(segment, dtype,
+shape, offset)`` descriptors, with the creator unlinking every
+segment in a ``finally`` and :meth:`Session.close` sweeping any
+straggler writers.  Batches are sharded into ``~4 × workers``
+contiguous chunks pulled from the executor's shared queue, so a
+straggling chunk cannot serialise the tail; results are reassembled
+in input order.
 
 Determinism is unchanged by any of this: every run still gets its own
 freshly built, identically-seeded pipeline, so **batch ≡ sequence of
@@ -51,6 +59,7 @@ Examples
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
 import os
 import threading
@@ -62,13 +71,16 @@ from concurrent.futures import (
     wait,
 )
 from types import TracebackType
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.api import runner
 from repro.api.config import Configurable
-from repro.api.spec import RunArtifact
+from repro.api.spec import RunArtifact, RunSpec
 from repro.exceptions import ReproError
 from repro.qhd.pool import EnginePool
+
+if TYPE_CHECKING:
+    from repro.api.shm import ShmBatchWriter
 
 #: Batch fan-outs are sharded into up to this many chunks per worker.
 #: More chunks than workers is what makes the shared submission queue a
@@ -77,6 +89,18 @@ from repro.qhd.pool import EnginePool
 CHUNKS_PER_WORKER = 4
 
 _EXECUTORS = ("thread", "process", "auto")
+
+_WIRES = ("pickle", "shm", "auto")
+
+#: Zeroed wire-counter template (shared keys with
+#: :meth:`repro.api.shm.ShmBatchWriter.counters`).
+_WIRE_COUNTER_KEYS = (
+    "segments_created",
+    "bundles_encoded",
+    "bundles_reused",
+    "bytes_shipped",
+    "bytes_referenced",
+)
 
 
 class SessionError(ReproError):
@@ -130,6 +154,16 @@ class Session(Configurable):
         multi-core machines and ``"thread"`` otherwise.  Single
         :meth:`detect` / :meth:`solve` calls always run in-process —
         the knob only shapes batch fan-out, never results.
+    wire:
+        How process-mode batches hand their inputs to workers.
+        ``"shm"`` writes each unique input's arrays into
+        shared-memory segments once per batch and ships only
+        descriptors (:mod:`repro.api.shm`); ``"pickle"`` ships the
+        arrays inside the task payload (the PR 6 wire); ``"auto"``
+        (default) resolves to ``"shm"``.  Thread and sequential
+        backends never serialise inputs, so the knob is a no-op
+        there.  Like ``executor``, it shapes throughput only, never
+        results.
 
     Like every other knob in the library, the constructor parameters
     round-trip through :meth:`Configurable.to_config` /
@@ -160,6 +194,7 @@ class Session(Configurable):
         max_idle_engines: int = 4,
         pooling: bool = True,
         executor: str = "thread",
+        wire: str = "auto",
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise SessionError(
@@ -170,12 +205,17 @@ class Session(Configurable):
                 f"executor must be one of {list(_EXECUTORS)}, "
                 f"got {executor!r}"
             )
+        if wire not in _WIRES:
+            raise SessionError(
+                f"wire must be one of {list(_WIRES)}, got {wire!r}"
+            )
         self._max_workers = (
             _default_width() if max_workers is None else int(max_workers)
         )
         self._max_idle_engines = int(max_idle_engines)
         self._pooling = bool(pooling)
         self._executor = executor
+        self._wire = wire
         self._backend = (
             ("process" if (os.cpu_count() or 1) > 1 else "thread")
             if executor == "auto"
@@ -191,6 +231,8 @@ class Session(Configurable):
         self._lock = threading.Lock()
         self._closed = False
         self._runs = 0
+        self._wire_counters = dict.fromkeys(_WIRE_COUNTER_KEYS, 0)
+        self._shm_writers: set[ShmBatchWriter] = set()
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -216,6 +258,15 @@ class Session(Configurable):
         return self._backend
 
     @property
+    def wire_mode(self) -> str:
+        """The resolved process-batch wire: ``"pickle"`` or ``"shm"``.
+
+        Only meaningful when :attr:`executor_backend` is
+        ``"process"`` — the other backends never serialise inputs.
+        """
+        return "shm" if self._wire == "auto" else self._wire
+
+    @property
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         return self._closed
@@ -228,10 +279,12 @@ class Session(Configurable):
         """
         with self._lock:
             runs = self._runs
+            wire_counters = dict(self._wire_counters)
         return {
             "runs": runs,
             "max_workers": self._max_workers,
             "executor": self._backend,
+            "wire": {"mode": self.wire_mode, **wire_counters},
             "engine_pool": (
                 None
                 if self._engine_pool is None
@@ -242,7 +295,10 @@ class Session(Configurable):
     def close(self) -> None:
         """Shut the executors down and drop every idle engine.
 
-        In process mode this terminates the worker processes.
+        In process mode this terminates the worker processes and
+        sweeps any shared-memory batch writer that has not yet been
+        closed by its batch's own ``finally`` (the straggler
+        guarantee: no segment this session created outlives it).
         Idempotent; further run calls raise :class:`SessionError`.
         """
         with self._lock:
@@ -255,10 +311,13 @@ class Session(Configurable):
             process_executor, self._process_executor = (
                 self._process_executor, None,
             )
+            writers, self._shm_writers = self._shm_writers, set()
         if thread_executor is not None:
             thread_executor.shutdown(wait=True)
         if process_executor is not None:
             process_executor.shutdown(wait=True)
+        for writer in writers:
+            writer.close()
         if self._engine_pool is not None:
             self._engine_pool.clear()
 
@@ -331,9 +390,12 @@ class Session(Configurable):
 
         Every graph gets its own freshly built, identically-seeded
         detector (batch ≡ sequence of single runs, bit-exact, for every
-        executor and any chunking).  ``max_workers`` above the
-        session's width is clamped to it with a warning; narrower
-        requests are honoured exactly.
+        executor, wire mode and chunking).  ``spec`` may also be a
+        list/tuple of specs aligned one-to-one with ``graphs`` —
+        per-item seeds and configs for sweep drivers — with the same
+        contract per item.  ``max_workers`` above the session's width
+        is clamped to it with a warning; narrower requests are
+        honoured exactly.
         """
         return self._run_batch("detect", graphs, spec, max_workers)
 
@@ -348,7 +410,8 @@ class Session(Configurable):
         The solve-side counterpart of :meth:`detect_batch`: each model
         gets a freshly built, identically-seeded solver, so the batch
         reproduces the corresponding sequence of single :meth:`solve`
-        calls for any worker count and either executor backend.
+        calls for any worker count, executor backend and wire mode.
+        ``spec`` may be a list/tuple of specs aligned with ``models``.
         """
         return self._run_batch("solve", models, spec, max_workers)
 
@@ -409,6 +472,27 @@ class Session(Configurable):
             width = self._max_workers
         return max(1, min(width, n_inputs or 1))
 
+    def _resolve_specs(
+        self, inputs: list[Any], spec: Any
+    ) -> tuple[list[RunSpec], RunSpec | None]:
+        """Normalise shared vs per-item specs for a batch.
+
+        Returns ``(specs, shared)``: ``specs`` is always aligned
+        one-to-one with ``inputs``; ``shared`` is the single spec when
+        one was given (so the process wire can ship it once per chunk)
+        and ``None`` for true per-item spec lists.
+        """
+        if isinstance(spec, (list, tuple)):
+            specs = [runner._spec_of(entry) for entry in spec]
+            if len(specs) != len(inputs):
+                raise SessionError(
+                    f"per-item spec sequence has {len(specs)} entries "
+                    f"for {len(inputs)} inputs"
+                )
+            return specs, None
+        shared = runner._spec_of(spec)
+        return [shared] * len(inputs), shared
+
     def _run_batch(
         self,
         kind: str,
@@ -417,8 +501,8 @@ class Session(Configurable):
         max_workers: int | None,
     ) -> list:
         self._check_open()
-        spec = runner._spec_of(spec)
         inputs = list(inputs)
+        specs, shared = self._resolve_specs(inputs, spec)
         if not inputs:
             # Uniform empty-batch contract for every executor backend:
             # no executor spin-up, no engine-pool traffic, just [].
@@ -428,13 +512,15 @@ class Session(Configurable):
         pool = self._engine_pool
         if width <= 1 or len(inputs) <= 1:
             results = [
-                run_one(item, spec, index, engine_pool=pool)
+                run_one(item, specs[index], index, engine_pool=pool)
                 for index, item in enumerate(inputs)
             ]
         elif self._backend == "process":
-            results = self._run_batch_processes(kind, inputs, spec, width)
+            results = self._run_batch_processes(
+                kind, inputs, specs, shared, width
+            )
         else:
-            results = self._run_batch_threads(run_one, inputs, spec, width)
+            results = self._run_batch_threads(run_one, inputs, specs, width)
         self._count(len(results))
         return results
 
@@ -442,7 +528,7 @@ class Session(Configurable):
         self,
         run_one: Callable[..., Any],
         inputs: list[Any],
-        spec: Any,
+        specs: list[RunSpec],
         width: int,
     ) -> list:
         """Thread fan-out over the persistent pool.
@@ -461,9 +547,9 @@ class Session(Configurable):
 
         def task(item: Any, index: int) -> Any:
             if gate is None:
-                return run_one(item, spec, index, engine_pool=pool)
+                return run_one(item, specs[index], index, engine_pool=pool)
             with gate:
-                return run_one(item, spec, index, engine_pool=pool)
+                return run_one(item, specs[index], index, engine_pool=pool)
 
         futures = [
             executor.submit(task, item, index)
@@ -471,58 +557,160 @@ class Session(Configurable):
         ]
         return [future.result() for future in futures]
 
+    def _fold_wire_counters(self, counters: dict[str, int]) -> None:
+        with self._lock:
+            for key in _WIRE_COUNTER_KEYS:
+                self._wire_counters[key] += counters.get(key, 0)
+
+    def _encode_batch(
+        self, inputs: list[Any]
+    ) -> tuple[list[tuple[str, Any]], "ShmBatchWriter | None", int]:
+        """Lower batch inputs onto the resolved wire.
+
+        Returns ``(encoded, writer, bytes_shipped)``.  On the shm wire
+        every array bundle goes through one :class:`ShmBatchWriter`
+        (deduped on input identity — repeated graphs in one batch share
+        a segment) and only descriptors enter the task payloads; on the
+        pickle wire (and for ``object``-tag fallbacks either way) the
+        payload carries the bytes and they are tallied as shipped.
+        """
+        from repro.api import shm as shm_wire
+
+        writer: ShmBatchWriter | None = None
+        if self.wire_mode == "shm":
+            writer = shm_wire.ShmBatchWriter()
+            with self._lock:
+                self._shm_writers.add(writer)
+        encoded: list[tuple[str, Any]] = []
+        shipped = 0
+        for item in inputs:
+            tag, payload = runner._encode_input(item)
+            if writer is not None and tag in shm_wire.SHM_TAGS:
+                encoded.append(
+                    ("shm", writer.encode(tag, payload, key=id(item)))
+                )
+            else:
+                shipped += shm_wire.payload_nbytes(tag, payload)
+                encoded.append((tag, payload))
+        return encoded, writer, shipped
+
     def _run_batch_processes(
-        self, kind: str, inputs: list[Any], spec: Any, width: int
+        self,
+        kind: str,
+        inputs: list[Any],
+        specs: list[RunSpec],
+        shared: RunSpec | None,
+        width: int,
     ) -> list:
         """Chunked, order-preserving fan-out over the process pool.
 
         Inputs are lowered to their array wire form
-        (:func:`repro.api.runner._encode_input`), sharded into up to
-        ``CHUNKS_PER_WORKER × width`` contiguous chunks and submitted
-        with at most ``width`` chunks in flight — the executor's shared
-        queue hands the next chunk to whichever worker frees up first,
-        so a straggler only delays its own chunk, not the tail.  Worker
-        pool counters ride back with each chunk and are merged into the
-        session pool's counters.
+        (:func:`repro.api.runner._encode_input`) — or, on the shm wire,
+        to shared-memory descriptors written once per unique input —
+        sharded into up to ``CHUNKS_PER_WORKER × width`` contiguous
+        chunks and submitted with at most ``width`` chunks in flight:
+        the executor's shared queue hands the next chunk to whichever
+        worker frees up first, so a straggler only delays its own
+        chunk, not the tail.  Worker pool counters ride back with each
+        chunk and are merged into the session pool's counters; wire
+        counters fold into :meth:`stats`.  The shm writer's segments
+        are unlinked in the ``finally`` whether the batch succeeds or a
+        worker raises mid-batch.
         """
         executor = self._ensure_process_executor()
-        spec_dict = spec.to_dict()
-        encoded = [runner._encode_input(item) for item in inputs]
-        n = len(inputs)
-        n_chunks = min(n, width * CHUNKS_PER_WORKER)
-        base, extra = divmod(n, n_chunks)
-        chunks = []
-        start = 0
-        for chunk_index in range(n_chunks):
-            size = base + (1 if chunk_index < extra else 0)
-            chunks.append(
-                [(i, encoded[i]) for i in range(start, start + size)]
+        encoded, writer, shipped = self._encode_batch(inputs)
+        try:
+            shared_payload = None if shared is None else shared.to_dict()
+            spec_dicts = (
+                None
+                if shared is not None
+                else [spec.to_dict() for spec in specs]
             )
-            start += size
-
-        results: list[Any] = [None] * n
-        pending = iter(chunks)
-        in_flight = set()
-
-        def submit_next() -> None:
-            chunk = next(pending, None)
-            if chunk is not None:
-                in_flight.add(
-                    executor.submit(runner._run_chunk, kind, spec_dict, chunk)
+            n = len(inputs)
+            n_chunks = min(n, width * CHUNKS_PER_WORKER)
+            base, extra = divmod(n, n_chunks)
+            chunks = []
+            start = 0
+            for chunk_index in range(n_chunks):
+                size = base + (1 if chunk_index < extra else 0)
+                chunks.append(
+                    [(i, encoded[i]) for i in range(start, start + size)]
                 )
+                start += size
 
-        for _ in range(min(width, n_chunks)):
-            submit_next()
-        while in_flight:
-            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-            for future in done:
-                chunk_results, delta = future.result()
-                for index, artifact in chunk_results:
-                    results[index] = artifact
-                if delta is not None and self._engine_pool is not None:
-                    self._engine_pool.merge_counters(delta)
+            results: list[Any] = [None] * n
+            pending = iter(chunks)
+            in_flight = set()
+
+            def submit_next() -> None:
+                chunk = next(pending, None)
+                if chunk is not None:
+                    payload = (
+                        shared_payload
+                        if spec_dicts is None
+                        else [spec_dicts[i] for i, _ in chunk]
+                    )
+                    in_flight.add(
+                        executor.submit(
+                            runner._run_chunk, kind, payload, chunk
+                        )
+                    )
+
+            for _ in range(min(width, n_chunks)):
                 submit_next()
-        return results
+            while in_flight:
+                done, in_flight = wait(
+                    in_flight, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    chunk_results, delta = future.result()
+                    for index, artifact in chunk_results:
+                        results[index] = artifact
+                    if delta is not None and self._engine_pool is not None:
+                        self._engine_pool.merge_counters(delta)
+                    submit_next()
+            return results
+        finally:
+            counters = (
+                dict.fromkeys(_WIRE_COUNTER_KEYS, 0)
+                if writer is None
+                else writer.counters()
+            )
+            counters["bytes_shipped"] += shipped
+            self._fold_wire_counters(counters)
+            if writer is not None:
+                writer.close()
+                with self._lock:
+                    self._shm_writers.discard(writer)
+
+
+@contextlib.contextmanager
+def session_scope(
+    session: Session | None = None, **kwargs: Any
+) -> Any:
+    """Yield ``session``, or a temporary ``Session(**kwargs)``.
+
+    The experiment drivers and CLI commands accept an optional caller
+    session; this scope is their uniform plumbing — a caller-provided
+    session is yielded untouched (the caller owns its lifecycle), and
+    the ``None`` case builds a throwaway session that is closed (and
+    its shared-memory writers swept) when the block exits.
+
+    Examples
+    --------
+    >>> from repro.api.session import session_scope
+    >>> with session_scope(executor="thread") as session:
+    ...     session.closed
+    False
+    """
+    if session is not None:
+        yield session
+        return
+    scoped = Session(**kwargs)
+    try:
+        yield scoped
+    finally:
+        scoped.close()
 
 
 # ----------------------------------------------------------------------

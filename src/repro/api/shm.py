@@ -1,0 +1,394 @@
+"""Shared-memory zero-copy wire format for process-mode batches.
+
+This is the **blessed wire module**: the only place in the library
+allowed to touch :mod:`multiprocessing.shared_memory` (enforced by the
+REP007 lint rule).  It turns the array bundles the process executor
+already ships — :meth:`repro.graphs.Graph.to_arrays` tuples and
+``QuboModel``/``SparseQuboModel`` ``to_arrays()`` dicts — into
+shared-memory *segments* plus tiny picklable *descriptors*:
+
+* the batch submitter (:class:`ShmBatchWriter`) copies each unique
+  input's arrays into shared memory **once per batch** — bundles are
+  bump-allocated into a few slab segments (:data:`SLAB_BYTES` each;
+  oversize bundles get a dedicated segment) so per-bundle cost is one
+  ``memcpy``, not a segment creation, and repeated inputs are deduped
+  by identity to reuse the already-written bytes — and ships only
+  ``(segment, dtype, shape, offset)`` descriptors with each chunk, so
+  per-task submit cost no longer grows with graph size;
+* the worker (:class:`ShmChunkReader`) attaches the named segments and
+  reconstructs the payloads as **read-only numpy views** over the
+  shared buffer — no copy, and downstream ``from_arrays`` reconstruction
+  skips re-canonicalisation exactly as it does on the pickle wire;
+* cleanup is deterministic: the creator unlinks every segment in a
+  ``finally`` once the batch completes (success or not), workers close
+  their attachments on chunk exit, and :meth:`repro.api.Session.close`
+  sweeps any straggler writers.
+
+Segment bookkeeping rides on the stdlib resource tracker.  With the
+``fork`` start context (the executor's preference, and the only one on
+this code path under Linux) the parent and its workers share one
+tracker process, so the create-side register and unlink-side unregister
+balance exactly and nothing is reported leaked.  Spawn-based contexts
+give each worker its own tracker, which may log shutdown warnings for
+attach-only segments — harmless (the names are already unlinked) but
+noisy; fork avoids it entirely.
+
+Byte accounting is exact and allocation-free: ``bytes_shipped`` counts
+array bytes physically serialised into task payloads (zero for
+shm-encoded inputs — only descriptors travel), ``bytes_referenced``
+counts array bytes made reachable through segments (counted once per
+use, so deduped reuse shows up as referenced-but-not-recopied).
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+from types import TracebackType
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+#: Field offsets inside a segment are rounded up to this alignment so
+#: every reconstructed view is at least cache-line aligned regardless of
+#: the dtypes preceding it in the segment.
+ALIGNMENT = 64
+
+#: Wire tags with an array-bundle shared-memory form.  ``"object"``
+#: payloads (arbitrary pickled fallbacks) never go through a segment.
+SHM_TAGS = ("graph", "qubo")
+
+#: Slab segment size.  Bundles are bump-allocated into slabs of this
+#: many bytes so a batch of small graphs costs a handful of segment
+#: creations total instead of one per input; bundles larger than a slab
+#: get a dedicated right-sized segment.
+SLAB_BYTES = 4 << 20
+
+
+class ShmWireError(ReproError):
+    """Raised for malformed shared-memory wire descriptors/payloads."""
+
+
+def _align(offset: int) -> int:
+    return -(-offset // ALIGNMENT) * ALIGNMENT
+
+
+def split_payload(
+    tag: str, payload: Any
+) -> tuple[list[tuple[str, np.ndarray]], dict[str, Any]]:
+    """Split a wire payload into named array fields plus scalar meta.
+
+    The inverse of :func:`join_payload`.  ``graph`` payloads are the
+    ``(n_nodes, edge_u, edge_v, edge_w)`` tuples of
+    :meth:`repro.graphs.Graph.to_arrays`; ``qubo`` payloads are the
+    ``to_arrays()`` dicts of either QUBO backend (array values become
+    fields, everything else — ``kind``, ``n``, ``offset``,
+    ``factor_rows`` — stays inline meta).  Field order is deterministic
+    so descriptors are reproducible.
+    """
+    if tag == "graph":
+        n_nodes, edge_u, edge_v, edge_w = payload
+        fields = [
+            ("edge_u", np.asarray(edge_u)),
+            ("edge_v", np.asarray(edge_v)),
+            ("edge_w", np.asarray(edge_w)),
+        ]
+        return fields, {"n_nodes": int(n_nodes)}
+    if tag == "qubo":
+        fields = []
+        meta: dict[str, Any] = {}
+        for key in sorted(payload):
+            value = payload[key]
+            if isinstance(value, np.ndarray):
+                fields.append((key, value))
+            else:
+                meta[key] = value
+        return fields, meta
+    raise ShmWireError(
+        f"wire tag {tag!r} has no shared-memory form "
+        f"(expected one of {list(SHM_TAGS)})"
+    )
+
+
+def join_payload(
+    tag: str, fields: dict[str, np.ndarray], meta: dict[str, Any]
+) -> Any:
+    """Reassemble a wire payload from array fields plus scalar meta."""
+    if tag == "graph":
+        return (
+            meta["n_nodes"],
+            fields["edge_u"],
+            fields["edge_v"],
+            fields["edge_w"],
+        )
+    if tag == "qubo":
+        bundle: dict[str, Any] = dict(meta)
+        bundle.update(fields)
+        return bundle
+    raise ShmWireError(
+        f"wire tag {tag!r} has no shared-memory form "
+        f"(expected one of {list(SHM_TAGS)})"
+    )
+
+
+def payload_nbytes(tag: str, payload: Any) -> int:
+    """Array bytes carried by one wire payload (0 for non-array tags)."""
+    if tag not in SHM_TAGS:
+        return 0
+    fields, _ = split_payload(tag, payload)
+    return sum(int(array.nbytes) for _, array in fields)
+
+
+class ShmBatchWriter:
+    """Creator side: pack wire payloads into shared-memory slabs.
+
+    One writer serves one batch submission.  :meth:`encode`
+    bump-allocates a payload's arrays into the current slab segment
+    (creating a new slab when the bundle does not fit, or a dedicated
+    segment when it exceeds a whole slab; a repeated ``key`` reuses the
+    already-written bytes) and returns the picklable descriptor to ship
+    instead of the arrays.  :meth:`close` closes *and unlinks* every
+    segment the writer created — call it in a ``finally`` once every
+    chunk of the batch has completed, or let the context-manager form
+    do it.
+
+    The writer is not thread-safe for concurrent :meth:`encode` calls
+    (batches encode inputs from the submitting thread only), but
+    :meth:`close` is idempotent and safe to call from the sweeping
+    session under its own lock.
+    """
+
+    def __init__(self, slab_bytes: int = SLAB_BYTES) -> None:
+        self._slab_bytes = max(int(slab_bytes), ALIGNMENT)
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._slab: shared_memory.SharedMemory | None = None
+        self._slab_cursor = 0
+        self._by_key: dict[int, tuple[dict[str, Any], int]] = {}
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self.segments_created = 0
+        self.bundles_encoded = 0
+        self.bundles_reused = 0
+        self.bytes_shipped = 0
+        self.bytes_referenced = 0
+
+    def _new_segment(self, size: int) -> shared_memory.SharedMemory:
+        """Create a segment and register it for cleanup, leak-free."""
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        registered = False
+        try:
+            self._segments.append(segment)
+            registered = True
+        finally:
+            if not registered:
+                # The segment never reached the writer's cleanup list;
+                # unlink it here so a failed create cannot leak it.
+                segment.close()
+                segment.unlink()
+        self.segments_created += 1
+        return segment
+
+    def _allocate(
+        self, nbytes: int
+    ) -> tuple[shared_memory.SharedMemory, int]:
+        """Reserve ``nbytes``; return ``(segment, base offset)``.
+
+        Oversize bundles get a dedicated right-sized segment; everything
+        else bump-allocates into the current slab, rolling to a fresh
+        slab when the remainder is too small.
+        """
+        if nbytes > self._slab_bytes:
+            return self._new_segment(max(1, nbytes)), 0
+        base = _align(self._slab_cursor)
+        if self._slab is None or base + nbytes > self._slab_bytes:
+            self._slab = self._new_segment(self._slab_bytes)
+            base = 0
+        self._slab_cursor = base + nbytes
+        return self._slab, base
+
+    def encode(
+        self, tag: str, payload: Any, key: int | None = None
+    ) -> dict[str, Any]:
+        """Write ``payload`` into shared memory; return its descriptor.
+
+        ``key`` is the dedup handle (the submitter passes ``id(item)``,
+        stable while the batch holds its inputs alive): encoding the
+        same key again reuses the already-written bytes instead of
+        copying the arrays a second time.
+        """
+        if self._closed:
+            raise ShmWireError("ShmBatchWriter is closed")
+        if key is not None and key in self._by_key:
+            descriptor, nbytes = self._by_key[key]
+            self.bundles_reused += 1
+            self.bytes_referenced += nbytes
+            return descriptor
+        fields, meta = split_payload(tag, payload)
+        arrays: list[np.ndarray] = []
+        relative: list[tuple[str, str, tuple[int, ...], int]] = []
+        end = 0
+        for name, array in fields:
+            array = np.ascontiguousarray(array)
+            offset = _align(end)
+            relative.append((name, array.dtype.str, array.shape, offset))
+            arrays.append(array)
+            end = offset + array.nbytes
+        segment, base = self._allocate(end)
+        layout = [
+            (name, dtype, shape, base + offset)
+            for name, dtype, shape, offset in relative
+        ]
+        for (_, _, _, offset), array in zip(layout, arrays):
+            view: np.ndarray = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=segment.buf,
+                offset=offset,
+            )
+            view[...] = array
+        descriptor = {
+            "segment": segment.name,
+            "tag": tag,
+            "fields": layout,
+            "meta": meta,
+        }
+        nbytes = sum(int(array.nbytes) for array in arrays)
+        self.bundles_encoded += 1
+        self.bytes_referenced += nbytes
+        if key is not None:
+            self._by_key[key] = (descriptor, nbytes)
+        return descriptor
+
+    def counters(self) -> dict[str, int]:
+        """The writer's wire counters (merged into session stats)."""
+        return {
+            "segments_created": self.segments_created,
+            "bundles_encoded": self.bundles_encoded,
+            "bundles_reused": self.bundles_reused,
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_referenced": self.bytes_referenced,
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        """Names of the live segments this writer created (for tests)."""
+        return [segment.name for segment in self._segments]
+
+    def close(self) -> None:
+        """Close and unlink every segment this writer created.
+
+        Idempotent.  Runs under its own lock so the owning session's
+        straggler sweep and the batch's ``finally`` can race safely.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, []
+            self._slab = None
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - creator views died
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._by_key.clear()
+
+    def __enter__(self) -> "ShmBatchWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+class ShmChunkReader:
+    """Worker side: attach segments, hand out read-only views.
+
+    One reader serves one chunk.  :meth:`decode` attaches the
+    descriptor's segment (cached per name, so many inputs sharing one
+    deduped segment attach it once) and rebuilds the ``(tag, payload)``
+    wire pair with every array a writeable=False view over the shared
+    buffer.  On exit the reader closes every attachment; a view that
+    outlived the chunk merely defers the close to process exit (the
+    creator's unlink has already removed the name, so nothing persists
+    either way).
+    """
+
+    def __init__(self) -> None:
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+
+    def decode(self, descriptor: dict[str, Any]) -> tuple[str, Any]:
+        """Reconstruct the ``(tag, payload)`` pair behind ``descriptor``."""
+        name = descriptor["segment"]
+        segment = self._attached.get(name)
+        if segment is None:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError as error:
+                raise ShmWireError(
+                    f"shared-memory segment {name!r} is gone; the "
+                    f"submitting session closed it before this chunk ran"
+                ) from error
+            self._attached[name] = segment
+        fields: dict[str, np.ndarray] = {}
+        for field_name, dtype, shape, offset in descriptor["fields"]:
+            view: np.ndarray = np.ndarray(
+                tuple(shape),
+                dtype=np.dtype(dtype),
+                buffer=segment.buf,
+                offset=offset,
+            )
+            view.flags.writeable = False
+            fields[field_name] = view
+        return descriptor["tag"], join_payload(
+            descriptor["tag"], fields, descriptor["meta"]
+        )
+
+    def close(self) -> None:
+        """Close every attached segment (views permitting)."""
+        attached, self._attached = self._attached, {}
+        for segment in attached.values():
+            try:
+                segment.close()
+            except BufferError:
+                # A run artifact still references a view; the mapping
+                # is released when it is collected, and the name is
+                # already unlinked by the creator — nothing leaks.
+                pass
+
+    def __enter__(self) -> "ShmChunkReader":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+__all__ = [
+    "ALIGNMENT",
+    "SHM_TAGS",
+    "SLAB_BYTES",
+    "ShmBatchWriter",
+    "ShmChunkReader",
+    "ShmWireError",
+    "join_payload",
+    "payload_nbytes",
+    "split_payload",
+]

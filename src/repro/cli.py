@@ -159,6 +159,18 @@ def _merge_spec_overrides(spec, args: argparse.Namespace):
     return spec
 
 
+def _session_line(stats: dict) -> str:
+    """Render the resolved session backend for CLI output."""
+    wire = stats.get("wire") or {}
+    wire_note = (
+        f", {wire['mode']} wire" if stats["executor"] == "process" else ""
+    )
+    return (
+        f"executor:     {stats['executor']} "
+        f"({stats['max_workers']} workers{wire_note})"
+    )
+
+
 def _detect_repeated(
     api,
     graph,
@@ -166,19 +178,22 @@ def _detect_repeated(
     repeats: int,
     executor: str = "thread",
     max_workers: int | None = None,
+    wire: str = "auto",
 ):
     """Run ``spec`` ``repeats`` times through one reusable session.
 
     Demonstrates (and exercises) the session runtime from the CLI: the
     repeats go through :meth:`repro.api.Session.detect_batch`, so
-    ``--executor``/``--max-workers`` pick the backend (persistent
-    thread pool, or a process pool with per-worker engine pools) and
-    same-shape QHD runs lease cached evolution engines instead of
-    rebuilding phase tables and workspace buffers.  Seeded runs are
-    bit-identical for every executor, so only the last artifact is
-    kept.
+    ``--executor``/``--max-workers``/``--wire`` pick the backend
+    (persistent thread pool, or a process pool with per-worker engine
+    pools and pickle vs shared-memory input handoff) and same-shape QHD
+    runs lease cached evolution engines instead of rebuilding phase
+    tables and workspace buffers.  Seeded runs are bit-identical for
+    every executor and wire, so only the last artifact is kept.
     """
-    with api.Session(max_workers=max_workers, executor=executor) as session:
+    with api.Session(
+        max_workers=max_workers, executor=executor, wire=wire
+    ) as session:
         artifacts = session.detect_batch([graph] * repeats, spec)
         stats = session.stats()
     reference = artifacts[0].result.labels
@@ -189,10 +204,7 @@ def _detect_repeated(
                     "seeded repeat runs diverged — this is a bug, "
                     "please report it"
                 )
-    print(
-        f"executor:     {stats['executor']} "
-        f"({stats['max_workers']} workers)"
-    )
+    print(_session_line(stats))
     print(f"repeat runs:  {repeats}")
     for number, artifact in enumerate(artifacts, start=1):
         timings = artifact.timings
@@ -263,6 +275,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 args.repeat,
                 executor=args.executor,
                 max_workers=args.max_workers,
+                wire=args.wire,
             )
         else:
             artifact = api.detect(graph, spec)
@@ -331,7 +344,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     artifacts = []
     try:
-        stream = api.detect_stream(
+        session = api.Session(
+            max_workers=args.max_workers,
+            executor=args.executor,
+            wire=args.wire,
+        )
+    except api.SessionError as error:
+        raise SystemExit(str(error)) from None
+    print(_session_line(session.stats()))
+    try:
+        stream = session.detect_stream(
             graph, batches, spec, warm_start=not args.cold
         )
         for artifact in stream:
@@ -352,6 +374,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             artifacts.append(artifact)
     except (api.RegistryError, api.SpecError, api.ConfigError) as error:
         raise SystemExit(str(error)) from None
+    finally:
+        session.close()
     if args.artifact:
         payload = "[" + ",\n".join(a.to_json() for a in artifacts) + "]"
         with open(args.artifact, "w", encoding="utf-8") as handle:
@@ -361,41 +385,55 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import repro.api as api
+
     scale = args.scale
-    if args.experiment in ("fig3", "fig4"):
-        from repro.experiments.solver_comparison import (
-            SolverComparisonConfig,
-            run_solver_comparison,
+    try:
+        session = api.Session(
+            max_workers=args.max_workers,
+            executor=args.executor,
+            wire=args.wire,
         )
+    except api.SessionError as error:
+        raise SystemExit(str(error)) from None
+    with session:
+        print(_session_line(session.stats()))
+        if args.experiment in ("fig3", "fig4"):
+            from repro.experiments.solver_comparison import (
+                SolverComparisonConfig,
+                run_solver_comparison,
+            )
 
-        config = SolverComparisonConfig(
-            portfolio_scale=max(0.002, 0.02 * scale),
-            min_time_limit=2.0 if args.experiment == "fig4" else 1.0,
-        )
-        report = run_solver_comparison(config)
-        print(report.to_text())
-    elif args.experiment in ("table1", "fig5"):
-        from repro.experiments.small_networks import (
-            SmallNetworksConfig,
-            run_small_networks,
-        )
+            config = SolverComparisonConfig(
+                portfolio_scale=max(0.002, 0.02 * scale),
+                min_time_limit=2.0 if args.experiment == "fig4" else 1.0,
+            )
+            report = run_solver_comparison(config)
+            print(report.to_text())
+        elif args.experiment in ("table1", "fig5"):
+            from repro.experiments.small_networks import (
+                SmallNetworksConfig,
+                run_small_networks,
+            )
 
-        config = SmallNetworksConfig(
-            instance_scale=min(1.0, 0.2 * scale)
-        )
-        print(run_small_networks(config).to_text())
-    elif args.experiment in ("table2", "fig6"):
-        from repro.experiments.large_networks import (
-            LargeNetworksConfig,
-            run_large_networks,
-        )
+            config = SmallNetworksConfig(
+                instance_scale=min(1.0, 0.2 * scale)
+            )
+            print(run_small_networks(config).to_text())
+        elif args.experiment in ("table2", "fig6"):
+            from repro.experiments.large_networks import (
+                LargeNetworksConfig,
+                run_large_networks,
+            )
 
-        config = LargeNetworksConfig(
-            instance_scale=min(1.0, 0.1 * scale), n_seeds=2
-        )
-        print(run_large_networks(config).to_text())
-    else:
-        raise SystemExit(f"unknown experiment {args.experiment!r}")
+            config = LargeNetworksConfig(
+                instance_scale=min(1.0, 0.1 * scale), n_seeds=2
+            )
+            print(
+                run_large_networks(config, session=session).to_text()
+            )
+        else:
+            raise SystemExit(f"unknown experiment {args.experiment!r}")
     return 0
 
 
@@ -430,6 +468,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not args.output and not args.json:
         print("repro lint: clean")
     return 0
+
+
+def _add_session_flags(
+    parser: argparse.ArgumentParser, default_executor: str
+) -> None:
+    """Attach the uniform session-backend flags to a subcommand.
+
+    ``repro detect --repeat``, ``repro stream`` and ``repro bench`` all
+    drive :class:`repro.api.Session`; these three flags pick its
+    backend identically everywhere, and each command prints the
+    resolved backend it ran on.
+    """
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process", "auto"),
+        default=default_executor,
+        help=(
+            "session batch backend: 'thread' (one persistent thread "
+            "pool), 'process' (process pool with per-worker engine "
+            "pools), or 'auto' (processes on multi-core machines; "
+            f"default: {default_executor})"
+        ),
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="session executor width (default: min(8, cpu_count))",
+    )
+    parser.add_argument(
+        "--wire",
+        choices=("pickle", "shm", "auto"),
+        default="auto",
+        help=(
+            "process-backend input handoff: 'shm' ships inputs "
+            "through shared-memory segments, 'pickle' inside task "
+            "payloads; 'auto' (default) resolves to shm.  No-op on "
+            "the thread backend"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -499,26 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the last run"
         ),
     )
-    detect.add_argument(
-        "--executor",
-        choices=("thread", "process", "auto"),
-        default="thread",
-        help=(
-            "session batch backend for --repeat runs: 'thread' (one "
-            "persistent thread pool), 'process' (process pool with "
-            "per-worker engine pools), or 'auto' (processes on "
-            "multi-core machines)"
-        ),
-    )
-    detect.add_argument(
-        "--max-workers",
-        type=int,
-        default=None,
-        help=(
-            "session executor width for --repeat runs "
-            "(default: min(8, cpu_count))"
-        ),
-    )
+    _add_session_flags(detect, default_executor="thread")
     detect.add_argument("--weighted", action="store_true")
     detect.add_argument(
         "--output", default=None, help="write labels to this file"
@@ -609,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
             "patching the QUBO and seeding with the previous partition"
         ),
     )
+    _add_session_flags(stream, default_executor="auto")
     stream.add_argument("--weighted", action="store_true")
     stream.add_argument(
         "--artifact",
@@ -631,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="workload scale multiplier (1.0 = laptop-calibrated)",
     )
+    _add_session_flags(bench, default_executor="auto")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

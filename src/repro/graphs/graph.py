@@ -245,12 +245,21 @@ class Graph:
         edge_u: np.ndarray,
         edge_v: np.ndarray,
         edge_w: np.ndarray | None = None,
+        *,
+        canonical: bool = False,
     ) -> "Graph":
         """Build a graph from parallel edge arrays (the true fast path).
 
         Unlike the tuple-iterable constructor, this never materialises
         per-edge Python objects: the arrays go straight through vectorized
         validation, canonicalisation and CSR assembly.
+
+        ``canonical=True`` promises the arrays are already in the form
+        :meth:`to_arrays` produces (u ≤ v, sorted, deduped, in-range)
+        and adopts them as-is without copying — the zero-copy path for
+        shared-memory views on the batch wire.  Canonicalisation is a
+        stable no-op on canonical input, so both paths build the same
+        graph bit-for-bit.
         """
         graph = cls.__new__(cls)
         graph._n = _check_n_nodes(n_nodes)
@@ -265,7 +274,11 @@ class Graph:
                 "edge_u, edge_v and edge_w must have equal lengths, got "
                 f"{len(u_arr)}, {len(v_arr)}, {len(w_arr)}"
             )
-        if len(u_arr) == 0:
+        if canonical:
+            graph._edge_u = u_arr
+            graph._edge_v = v_arr
+            graph._edge_w = w_arr
+        elif len(u_arr) == 0:
             empty_i = np.empty(0, dtype=np.int64)
             graph._edge_u = empty_i
             graph._edge_v = empty_i.copy()

@@ -1,0 +1,14 @@
+"""REP007 triggering fixture: stray shared-memory use, no cleanup.
+
+This module is *not* a blessed wire module, so the import and every
+``SharedMemory`` call are stray uses; the ``create=True`` call also
+lacks an ``unlink()`` reachable from a ``finally``.
+"""
+
+from multiprocessing import shared_memory
+
+
+def leak_segment(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    segment.buf[0] = 1
+    return segment.name

@@ -1,0 +1,19 @@
+"""REP007 clean fixture: a blessed wire module with paired cleanup.
+
+The STRICT test config lists this file in ``rep007_exempt`` — it plays
+the role of ``repro/api/shm.py`` — so shared-memory use is allowed
+here, and the ``create=True`` site keeps its ``unlink()`` inside a
+``finally``, satisfying the creation-hygiene half of the rule.
+"""
+
+from multiprocessing import shared_memory
+
+
+def roundtrip(data):
+    segment = shared_memory.SharedMemory(create=True, size=len(data))
+    try:
+        segment.buf[: len(data)] = data
+        return bytes(segment.buf[: len(data)])
+    finally:
+        segment.close()
+        segment.unlink()

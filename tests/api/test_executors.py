@@ -166,6 +166,121 @@ class TestProcessRuntime:
             executor.submit(os.getpid)
 
 
+@pytest.mark.parametrize("wire", ["pickle", "shm", "auto"])
+@pytest.mark.parametrize("max_workers", [2, 3])
+class TestWireModeEquivalence:
+    """Both wires reproduce sequential fresh runs at any chunking."""
+
+    def test_detect_matches_sequential_fresh_runs(self, wire, max_workers):
+        graphs = _graphs()
+        expected = [
+            runner._detect_one(g, runner._spec_of(QHD_SPEC), i)
+            for i, g in enumerate(graphs)
+        ]
+        with Session(
+            max_workers=3, executor="process", wire=wire
+        ) as session:
+            got = session.detect_batch(
+                graphs, QHD_SPEC, max_workers=max_workers
+            )
+        _assert_artifacts_identical(expected, got)
+
+    def test_solve_models_both_backends(self, wire, max_workers):
+        graph, _ = ring_of_cliques(3, 5)
+        sparse = build_community_qubo(
+            graph, n_communities=3, backend="sparse"
+        ).model
+        models = [random_qubo(10, 0.4, seed=i) for i in range(3)]
+        models += [sparse, sparse]  # repeated input exercises dedup
+        expected = [
+            runner._solve_one(m, runner._spec_of(SOLVE_SPEC), i)
+            for i, m in enumerate(models)
+        ]
+        with Session(
+            max_workers=3, executor="process", wire=wire
+        ) as session:
+            got = session.solve_batch(
+                models, SOLVE_SPEC, max_workers=max_workers
+            )
+        _assert_artifacts_identical(expected, got)
+
+
+class TestWireConfig:
+    def test_invalid_wire_rejected(self):
+        with pytest.raises(SessionError, match="wire"):
+            Session(wire="carrier-pigeon")
+
+    @pytest.mark.parametrize("wire", ["pickle", "shm", "auto"])
+    def test_wire_round_trips(self, wire):
+        config = Session(max_workers=2, wire=wire).to_config()
+        assert config["wire"] == wire
+        assert Session.from_config(config).to_config() == config
+
+    def test_auto_resolves_to_shm(self):
+        assert Session(wire="auto").wire_mode == "shm"
+        assert Session(wire="pickle").wire_mode == "pickle"
+
+    def test_stats_reports_wire_counters(self):
+        graphs = _graphs(4)
+        graphs.append(graphs[0])  # identity-repeated input
+        with Session(
+            max_workers=2, executor="process", wire="shm"
+        ) as session:
+            session.detect_batch(graphs, QHD_SPEC)
+            wire = session.stats()["wire"]
+        assert wire["mode"] == "shm"
+        # Four small graphs bump-allocate into a single slab segment;
+        # the identity-repeated one reuses its bytes, not recopies.
+        assert wire["segments_created"] == 1
+        assert wire["bundles_encoded"] == 4
+        assert wire["bundles_reused"] == 1
+        assert wire["bytes_shipped"] == 0
+        assert wire["bytes_referenced"] > 0
+
+    def test_pickle_wire_ships_bytes(self):
+        graphs = _graphs(3)
+        with Session(
+            max_workers=2, executor="process", wire="pickle"
+        ) as session:
+            session.detect_batch(graphs, QHD_SPEC)
+            wire = session.stats()["wire"]
+        assert wire["segments_created"] == 0
+        assert wire["bytes_shipped"] > 0
+        assert wire["bytes_referenced"] == 0
+
+    def test_thread_backend_bypasses_wire(self):
+        graphs = _graphs(3)
+        with Session(
+            max_workers=2, executor="thread", wire="shm"
+        ) as session:
+            session.detect_batch(graphs, QHD_SPEC)
+            wire = session.stats()["wire"]
+        assert wire["segments_created"] == 0
+        assert wire["bytes_shipped"] == 0
+
+
+class TestPerItemSpecs:
+    """A spec list fans out per-item seeds/configs, order-preserving."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_matches_sequential_per_item_runs(self, executor):
+        graphs = _graphs(4)
+        specs = [dict(QHD_SPEC, seed=100 + i) for i in range(4)]
+        expected = [
+            runner._detect_one(g, runner._spec_of(s), i)
+            for i, (g, s) in enumerate(zip(graphs, specs))
+        ]
+        with Session(max_workers=2, executor=executor) as session:
+            got = session.detect_batch(graphs, specs)
+        _assert_artifacts_identical(expected, got)
+
+    def test_length_mismatch_rejected(self):
+        graphs = _graphs(3)
+        with Session(max_workers=2) as session:
+            with pytest.raises(SessionError, match="entries"):
+                session.detect_batch(graphs, [QHD_SPEC] * 2)
+
+
 class TestWidthClamp:
     def test_wider_request_warns_and_clamps(self):
         graphs = _graphs(4)

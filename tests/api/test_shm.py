@@ -1,0 +1,311 @@
+"""Shared-memory wire hygiene and descriptor-codec contracts.
+
+Three invariant families:
+
+* **codec** — writer→reader round-trips reproduce every array bundle
+  bit-for-bit (hypothesis-driven graphs from empty to large, plus both
+  QUBO backends), and graphs rebuilt from segment views match the
+  originals on every derived structure;
+* **hygiene** — after any batch, on any executor × wire mode, including
+  one killed mid-batch by a failing per-item spec, ``/dev/shm`` holds
+  exactly its pre-test entries and a fresh interpreter running a batch
+  emits no ``resource_tracker`` warnings at exit;
+* **lifecycle** — the creator's ``finally`` and ``Session.close()``
+  both unlink straggler segments, and a closed writer refuses work.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import runner
+from repro.api.session import Session
+from repro.api.shm import (
+    ShmBatchWriter,
+    ShmChunkReader,
+    ShmWireError,
+    payload_nbytes,
+)
+from repro.graphs.generators import ring_of_cliques
+from repro.graphs.graph import Graph
+from repro.qubo import build_community_qubo
+from repro.qubo.random_instances import random_qubo
+
+QHD_SPEC = {
+    "detector": "qhd",
+    "solver": "qhd",
+    "solver_config": {"n_samples": 4, "grid_points": 8, "n_steps": 15},
+    "n_communities": 3,
+    "seed": 7,
+}
+
+HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+def _shm_entries() -> set:
+    return set(os.listdir("/dev/shm")) if HAS_DEV_SHM else set()
+
+
+def _graph_round_trip(graph: Graph) -> None:
+    """Encode through a segment, rebuild, compare every derived field."""
+    tag, payload = runner._encode_input(graph)
+    assert tag == "graph"
+    writer = ShmBatchWriter()
+    try:
+        descriptor = writer.encode(tag, payload, key=id(graph))
+        with ShmChunkReader() as reader:
+            decoded_tag, decoded = reader.decode(descriptor)
+            assert decoded_tag == "graph"
+            clone = Graph.from_arrays(*decoded, canonical=True)
+            assert clone.n_nodes == graph.n_nodes
+            for left, right in zip(
+                clone.edge_arrays(), graph.edge_arrays()
+            ):
+                np.testing.assert_array_equal(left, right)
+            np.testing.assert_array_equal(
+                clone.degrees, graph.degrees
+            )
+            assert clone.total_weight == graph.total_weight
+            # Segment views are read-only: the canonical adoption path
+            # must not hand out writable aliases of shared pages.
+            with pytest.raises(ValueError):
+                clone.edge_arrays()[0][...] = 0
+            del decoded, clone
+    finally:
+        writer.close()
+
+
+@st.composite
+def graphs(draw):
+    n_nodes = draw(st.integers(min_value=1, max_value=30))
+    n_edges = draw(st.integers(min_value=0, max_value=60))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=n_nodes - 1)),
+            draw(st.integers(min_value=0, max_value=n_nodes - 1)),
+            draw(
+                st.floats(
+                    min_value=0.25, max_value=8.0, allow_nan=False
+                )
+            ),
+        )
+        for _ in range(n_edges)
+    ]
+    return Graph(n_nodes, edges)
+
+
+class TestDescriptorCodec:
+    @settings(max_examples=30, deadline=None)
+    @given(graphs())
+    def test_graph_round_trip(self, graph):
+        _graph_round_trip(graph)
+
+    def test_empty_graph(self):
+        _graph_round_trip(Graph(5, []))
+
+    def test_single_edge_graph(self):
+        _graph_round_trip(Graph(2, [(0, 1, 2.5)]))
+
+    def test_large_graph(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        u = rng.integers(0, n, size=6000)
+        v = rng.integers(0, n, size=6000)
+        w = rng.uniform(0.5, 2.0, size=6000)
+        _graph_round_trip(Graph.from_arrays(n, u, v, w))
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_qubo_bundles(self, backend):
+        if backend == "dense":
+            model = random_qubo(12, 0.5, seed=3)
+        else:
+            graph, _ = ring_of_cliques(3, 5)
+            model = build_community_qubo(
+                graph, n_communities=3, backend="sparse"
+            ).model
+        tag, payload = runner._encode_input(model)
+        assert tag == "qubo"
+        writer = ShmBatchWriter()
+        try:
+            descriptor = writer.encode(tag, payload)
+            with ShmChunkReader() as reader:
+                decoded_tag, decoded = reader.decode(descriptor)
+                assert decoded_tag == "qubo"
+                assert set(decoded) == set(payload)
+                for key, value in payload.items():
+                    if isinstance(value, np.ndarray):
+                        np.testing.assert_array_equal(
+                            decoded[key], value
+                        )
+                    else:
+                        assert decoded[key] == value
+                del decoded
+        finally:
+            writer.close()
+
+    def test_payload_nbytes_matches_arrays(self):
+        graph, _ = ring_of_cliques(3, 4)
+        tag, payload = runner._encode_input(graph)
+        _, u, v, w = payload
+        assert payload_nbytes(tag, payload) == (
+            u.nbytes + v.nbytes + w.nbytes
+        )
+        assert payload_nbytes("object", {"any": "thing"}) == 0
+
+    def test_decode_unknown_segment_raises(self):
+        descriptor = {
+            "segment": "repro_never_created",
+            "tag": "graph",
+            "fields": [],
+            "meta": {"n_nodes": 1},
+        }
+        with ShmChunkReader() as reader:
+            with pytest.raises(ShmWireError, match="gone"):
+                reader.decode(descriptor)
+
+
+class TestWriterLifecycle:
+    def test_dedup_reuses_segments(self):
+        graph, _ = ring_of_cliques(3, 4)
+        tag, payload = runner._encode_input(graph)
+        with ShmBatchWriter() as writer:
+            first = writer.encode(tag, payload, key=id(graph))
+            second = writer.encode(tag, payload, key=id(graph))
+            assert first is second
+            assert writer.segments_created == 1
+            assert writer.bundles_encoded == 1
+            assert writer.bundles_reused == 1
+            assert writer.bytes_referenced == 2 * payload_nbytes(
+                tag, payload
+            )
+
+    def test_slab_packing_shares_one_segment(self):
+        graphs = [ring_of_cliques(3, 4 + i)[0] for i in range(3)]
+        encoded = [runner._encode_input(g) for g in graphs]
+        with ShmBatchWriter() as writer:
+            descriptors = [writer.encode(t, p) for t, p in encoded]
+            assert writer.segments_created == 1
+            assert writer.bundles_encoded == 3
+            assert len({d["segment"] for d in descriptors}) == 1
+            with ShmChunkReader() as reader:
+                for (tag, payload), d in zip(encoded, descriptors):
+                    _, decoded = reader.decode(d)
+                    for left, right in zip(decoded[1:], payload[1:]):
+                        np.testing.assert_array_equal(left, right)
+                    del decoded
+
+    def test_oversize_bundle_gets_dedicated_segment(self):
+        graph, _ = ring_of_cliques(3, 4)
+        tag, payload = runner._encode_input(graph)
+        # slab_bytes clamps to ALIGNMENT, smaller than the bundle, so
+        # every encode takes the dedicated right-sized segment path.
+        with ShmBatchWriter(slab_bytes=1) as writer:
+            first = writer.encode(tag, payload)
+            second = writer.encode(tag, payload)
+            assert first["segment"] != second["segment"]
+            assert writer.segments_created == 2
+            with ShmChunkReader() as reader:
+                _, decoded = reader.decode(second)
+                np.testing.assert_array_equal(decoded[1], payload[1])
+                del decoded
+
+    def test_close_unlinks_and_is_idempotent(self):
+        before = _shm_entries()
+        graph, _ = ring_of_cliques(3, 4)
+        writer = ShmBatchWriter()
+        writer.encode(*runner._encode_input(graph))
+        assert writer.segment_names()
+        writer.close()
+        writer.close()
+        assert writer.closed
+        if HAS_DEV_SHM:
+            assert _shm_entries() == before
+        with pytest.raises(ShmWireError, match="closed"):
+            writer.encode(*runner._encode_input(graph))
+
+    def test_session_close_sweeps_straggler_writers(self):
+        before = _shm_entries()
+        session = Session(executor="process", wire="shm", max_workers=2)
+        graph, _ = ring_of_cliques(3, 4)
+        writer = ShmBatchWriter()
+        writer.encode(*runner._encode_input(graph))
+        # Simulate a batch that died between encode and its finally.
+        session._shm_writers.add(writer)
+        session.close()
+        assert writer.closed
+        if HAS_DEV_SHM:
+            assert _shm_entries() == before
+
+
+@pytest.mark.parametrize("wire", ["pickle", "shm"])
+class TestSegmentHygiene:
+    """``/dev/shm`` returns to its pre-test entry set after any batch."""
+
+    def test_clean_batch_leaves_no_segments(self, wire):
+        graphs = [ring_of_cliques(3, 4 + (i % 2))[0] for i in range(5)]
+        before = _shm_entries()
+        with Session(
+            executor="process", wire=wire, max_workers=2
+        ) as session:
+            artifacts = session.detect_batch(graphs, QHD_SPEC)
+        assert len(artifacts) == 5
+        if HAS_DEV_SHM:
+            assert _shm_entries() == before
+
+    def test_worker_exception_mid_batch(self, wire):
+        graphs = [ring_of_cliques(3, 4)[0] for _ in range(5)]
+        specs = [dict(QHD_SPEC) for _ in range(5)]
+        specs[2] = dict(QHD_SPEC, solver="no-such-solver")
+        before = _shm_entries()
+        with Session(
+            executor="process", wire=wire, max_workers=2
+        ) as session:
+            with pytest.raises(Exception, match="no-such-solver"):
+                session.detect_batch(graphs, specs)
+            # The failed batch's finally already unlinked its segments
+            # and the session stays usable for the next batch.
+            follow_up = session.detect_batch(graphs[:2], QHD_SPEC)
+            assert len(follow_up) == 2
+        if HAS_DEV_SHM:
+            assert _shm_entries() == before
+
+
+def test_no_resource_tracker_warnings_at_exit():
+    """A fresh interpreter running an shm batch exits silently.
+
+    ``resource_tracker`` complains on stderr at interpreter shutdown
+    about segments it believes leaked; with the fork context the
+    create/unlink registrations balance, so a clean run says nothing.
+    """
+    code = (
+        "import repro.api as api\n"
+        "from repro.graphs.generators import ring_of_cliques\n"
+        "graphs = [ring_of_cliques(3, 4)[0] for _ in range(4)]\n"
+        "spec = {'detector': 'qhd', 'solver': 'greedy',\n"
+        "        'n_communities': 3, 'seed': 0}\n"
+        "with api.Session(executor='process', wire='shm',\n"
+        "                 max_workers=2) as session:\n"
+        "    session.detect_batch(graphs, spec)\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "leaked" not in proc.stderr, proc.stderr
