@@ -66,6 +66,7 @@ import threading
 import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
@@ -228,9 +229,12 @@ class Session(Configurable):
         )
         self._thread_executor: ThreadPoolExecutor | None = None
         self._process_executor: ProcessPoolExecutor | None = None
+        self._dispatch_executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._closed = False
         self._runs = 0
+        self._clamped_calls = 0
+        self._clamp_warned: set[int] = set()
         self._wire_counters = dict.fromkeys(_WIRE_COUNTER_KEYS, 0)
         self._shm_writers: set[ShmBatchWriter] = set()
 
@@ -279,9 +283,11 @@ class Session(Configurable):
         """
         with self._lock:
             runs = self._runs
+            clamped = self._clamped_calls
             wire_counters = dict(self._wire_counters)
         return {
             "runs": runs,
+            "clamped_calls": clamped,
             "max_workers": self._max_workers,
             "executor": self._backend,
             "wire": {"mode": self.wire_mode, **wire_counters},
@@ -305,6 +311,9 @@ class Session(Configurable):
             if self._closed:
                 return
             self._closed = True
+            dispatch_executor, self._dispatch_executor = (
+                self._dispatch_executor, None,
+            )
             thread_executor, self._thread_executor = (
                 self._thread_executor, None,
             )
@@ -312,6 +321,10 @@ class Session(Configurable):
                 self._process_executor, None,
             )
             writers, self._shm_writers = self._shm_writers, set()
+        # The dispatch pool first: in-flight submitted jobs may still be
+        # waiting on the batch executors, so those must outlive it.
+        if dispatch_executor is not None:
+            dispatch_executor.shutdown(wait=True)
         if thread_executor is not None:
             thread_executor.shutdown(wait=True)
         if process_executor is not None:
@@ -360,6 +373,65 @@ class Session(Configurable):
         )
         self._count(1)
         return artifact
+
+    def submit(
+        self,
+        item: Any,
+        spec: Any,
+        kind: str | None = None,
+    ) -> "Future[RunArtifact]":
+        """Submit one run and return its :class:`~concurrent.futures.Future`.
+
+        The awaitable counterpart of :meth:`detect` / :meth:`solve` and
+        the submission surface behind :class:`repro.api.AsyncSession`
+        and ``repro serve``: the call returns immediately with a
+        ``Future[RunArtifact]`` while the run executes on the session's
+        dispatch pool (a persistent thread pool sized like the batch
+        executor, so at most ``max_workers`` submitted runs execute
+        concurrently; further submissions queue).  On the process
+        backend the dispatch thread forwards the run to the persistent
+        process pool as a single-item chunk over the array wire, so
+        CPU-bound submissions scale with cores exactly like batches.
+
+        Parameters
+        ----------
+        item:
+            A :class:`repro.graphs.Graph` (detection) or a QUBO model
+            (solve).
+        spec:
+            The :class:`RunSpec` (or dict / JSON text) to run.
+        kind:
+            ``"detect"`` or ``"solve"``; ``None`` (default) infers it
+            from ``item``'s type — graphs detect, everything else
+            solves.
+
+        Determinism is the single-run contract: a submitted seeded run
+        is bit-identical to the corresponding :meth:`detect` /
+        :meth:`solve` call.
+
+        Examples
+        --------
+        >>> import repro.api as api
+        >>> from repro.graphs import ring_of_cliques
+        >>> graph, _ = ring_of_cliques(3, 5)
+        >>> with api.Session() as session:
+        ...     future = session.submit(
+        ...         graph, {"solver": "greedy",
+        ...                 "n_communities": 3, "seed": 0})
+        ...     future.result().result.n_communities
+        3
+        """
+        self._check_open()
+        resolved = runner._spec_of(spec)
+        if kind is None:
+            from repro.graphs.graph import Graph
+
+            kind = "detect" if isinstance(item, Graph) else "solve"
+        if kind not in ("detect", "solve"):
+            raise SessionError(
+                f"kind must be 'detect' or 'solve', got {kind!r}"
+            )
+        return self._dispatch(self._run_submitted, kind, item, resolved)
 
     def detect_stream(
         self,
@@ -450,6 +522,54 @@ class Session(Configurable):
                 )
             return self._process_executor
 
+    def _ensure_dispatch_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise SessionError("session is closed")
+            if self._dispatch_executor is None:
+                self._dispatch_executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-submit",
+                )
+            return self._dispatch_executor
+
+    def _dispatch(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> "Future[Any]":
+        """Run ``fn`` on the dispatch pool and return its future.
+
+        The dispatch pool is separate from the batch executors on
+        purpose: a dispatched call may itself block on the thread or
+        process batch pool (``AsyncSession.detect_batch`` does exactly
+        that), and sharing one pool for both the blocking entry points
+        and the work they fan out would deadlock at saturation.
+        """
+        return self._ensure_dispatch_executor().submit(fn, *args, **kwargs)
+
+    def _run_submitted(self, kind: str, item: Any, spec: RunSpec) -> Any:
+        """Dispatch-pool body of one :meth:`submit` job."""
+        if self._backend == "process":
+            executor = self._ensure_process_executor()
+            tag, payload = runner._encode_input(item)
+            from repro.api import shm as shm_wire
+
+            self._fold_wire_counters(
+                {"bytes_shipped": shm_wire.payload_nbytes(tag, payload)}
+            )
+            chunk_results, delta = executor.submit(
+                runner._run_chunk, kind, spec.to_dict(), [(0, (tag, payload))]
+            ).result()
+            if delta is not None and self._engine_pool is not None:
+                self._engine_pool.merge_counters(delta)
+            artifact = chunk_results[0][1]
+        else:
+            run_one = (
+                runner._detect_one if kind == "detect" else runner._solve_one
+            )
+            artifact = run_one(item, spec, 0, engine_pool=self._engine_pool)
+        self._count(1)
+        return artifact
+
     def _resolve_width(self, max_workers: int | None, n_inputs: int) -> int:
         """Clamp a per-call width request to the session's executor.
 
@@ -457,18 +577,30 @@ class Session(Configurable):
         request cannot be honoured; mirroring ``build_solver``'s
         warn-don't-drop policy it is clamped to the session width with
         a :class:`RuntimeWarning` rather than silently ignored.
-        Narrower requests are honoured exactly.
+        Narrower requests are honoured exactly.  The warning fires
+        **once per requested width** per session — a long-lived service
+        issuing thousands of identical oversized requests must not
+        flood its logs — while every clamp is tallied in
+        ``stats()["clamped_calls"]``.
         """
         width = self._max_workers if max_workers is None else int(max_workers)
         if width > self._max_workers:
-            warnings.warn(
-                f"max_workers={width} exceeds this session's executor "
-                f"width ({self._max_workers}); clamping to "
-                f"{self._max_workers}.  Build the session with "
-                f"Session(max_workers={width}) to get a wider executor",
-                RuntimeWarning,
-                stacklevel=4,
-            )
+            with self._lock:
+                self._clamped_calls += 1
+                first_time = width not in self._clamp_warned
+                if first_time:
+                    self._clamp_warned.add(width)
+            if first_time:
+                warnings.warn(
+                    f"max_workers={width} exceeds this session's executor "
+                    f"width ({self._max_workers}); clamping to "
+                    f"{self._max_workers}.  Build the session with "
+                    f"Session(max_workers={width}) to get a wider executor "
+                    f"(warning once; further clamps are counted in "
+                    f"stats()['clamped_calls'])",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
             width = self._max_workers
         return max(1, min(width, n_inputs or 1))
 
@@ -718,6 +850,11 @@ def session_scope(
 # ----------------------------------------------------------------------
 _default_session: Session | None = None
 _default_lock = threading.Lock()
+#: Set by the atexit hook: once the interpreter is tearing down, no
+#: replacement default session may be built — its executors and shm
+#: segments would never be reaped (there is no later hook to close
+#: them), which is exactly the zombie-session leak the flag prevents.
+_default_shutdown = False
 
 
 def default_session() -> Session:
@@ -731,6 +868,14 @@ def default_session() -> Session:
     hook), which shuts its executors down — with a process-pool
     backend that is what reaps the worker processes.
 
+    A default session closed *before* interpreter exit (e.g. by an
+    explicit :func:`_close_default_session`) is transparently replaced
+    — the still-registered atexit hook reaps the replacement too.
+    Once the hook itself has run, building a replacement would leak its
+    executors and shared-memory segments with nothing left to close
+    them, so facade calls during interpreter teardown raise
+    :class:`SessionError` instead.
+
     Examples
     --------
     >>> import repro.api as api
@@ -739,6 +884,14 @@ def default_session() -> Session:
     """
     global _default_session
     with _default_lock:
+        if _default_shutdown:
+            raise SessionError(
+                "the process-wide default session was already shut down "
+                "at interpreter exit; a replacement built this late "
+                "would leak its executors.  Create an explicit "
+                "Session() and close it yourself if you really need "
+                "one during teardown"
+            )
         if _default_session is None or _default_session.closed:
             _default_session = Session()
         return _default_session
@@ -747,10 +900,10 @@ def default_session() -> Session:
 def _close_default_session() -> None:
     """Close the process-wide default session (idempotent).
 
-    Registered with :mod:`atexit` so a plain-facade process never leaks
-    its executors: thread pools are joined and, when a process backend
-    was used, the worker processes are shut down instead of lingering
-    until the OS reaps them.
+    Detaches and closes the current default session; the next
+    :func:`default_session` call builds a fresh one (still covered by
+    the atexit hook, which closes whatever default session exists when
+    the interpreter exits).
     """
     global _default_session
     with _default_lock:
@@ -759,4 +912,23 @@ def _close_default_session() -> None:
         session.close()
 
 
-atexit.register(_close_default_session)
+def _shutdown_default_session() -> None:
+    """Interpreter-exit hook: close the default session **finally**.
+
+    Unlike :func:`_close_default_session` this also latches
+    ``_default_shutdown``, so a late facade call cannot silently
+    rebuild a zombie session whose process pool and shm segments would
+    never be reaped (no atexit hook runs after this one).
+
+    Registered with :mod:`atexit` so a plain-facade process never leaks
+    its executors: thread pools are joined and, when a process backend
+    was used, the worker processes are shut down instead of lingering
+    until the OS reaps them.
+    """
+    global _default_shutdown
+    with _default_lock:
+        _default_shutdown = True
+    _close_default_session()
+
+
+atexit.register(_shutdown_default_session)

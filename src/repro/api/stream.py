@@ -87,9 +87,24 @@ class _WarmModelState:
         from repro.qubo import CommunityQuboPatcher, build_community_qubo
 
         self._k = int(n_communities)
-        self._qubo = build_community_qubo(graph, self._k)
-        self._patcher = CommunityQuboPatcher(self._qubo)
+        self._qubo: Any = build_community_qubo(graph, self._k)
+        self._patcher: Any = CommunityQuboPatcher(self._qubo)
         self._state: Any | None = None
+
+    def release(self) -> None:
+        """Drop the patcher / model / flip-delta references.
+
+        Stream teardown: the QUBO, the patcher's coefficient scratch
+        and the flip-delta state's maintained fields are the stream's
+        warm memory — O(n·k) plus coupling-nnz arrays each.  Called
+        from the generator's ``finally`` so an abandoned stream (a
+        consumer that ``break``s, or an HTTP client that disconnects)
+        frees them deterministically instead of keeping them alive as
+        long as the suspended generator object exists.
+        """
+        self._qubo = None
+        self._patcher = None
+        self._state = None
 
     def advance(self, graph: Any, touched: np.ndarray) -> None:
         """Patch the model to ``graph`` and re-materialise the state.
@@ -220,29 +235,38 @@ def _stream(
         else None
     )
     previous: np.ndarray | None = None
-    for index, events in enumerate(updates):
-        session._check_open()
-        graph, touched = graph.apply_updates(events)
-        warm: np.ndarray | None = None
+    # The finally is the stream's teardown contract: a consumer that
+    # abandons the generator mid-stream (``break``, a dropped HTTP
+    # connection, ``gen.close()``) triggers GeneratorExit here, and the
+    # warm QUBO/patcher/flip-delta state is released deterministically
+    # instead of living as long as the suspended generator object.
+    try:
+        for index, events in enumerate(updates):
+            session._check_open()
+            graph, touched = graph.apply_updates(events)
+            warm: np.ndarray | None = None
+            if model_state is not None:
+                model_state.advance(graph, touched)
+                warm = model_state.warm_labels(graph)
+                if warm is None:
+                    warm = previous
+            artifact = runner._detect_one(
+                graph,
+                spec,
+                index,
+                engine_pool=session.engine_pool,
+                initial_partition=warm,
+            )
+            session._count(1)
+            labels = np.asarray(artifact.result.labels)
+            artifact.result.metadata["stream_batch"] = index
+            artifact.result.metadata["stream_touched_nodes"] = int(
+                np.asarray(touched).size
+            )
+            if model_state is not None:
+                model_state.track(labels)
+            previous = labels
+            yield artifact
+    finally:
         if model_state is not None:
-            model_state.advance(graph, touched)
-            warm = model_state.warm_labels(graph)
-            if warm is None:
-                warm = previous
-        artifact = runner._detect_one(
-            graph,
-            spec,
-            index,
-            engine_pool=session.engine_pool,
-            initial_partition=warm,
-        )
-        session._count(1)
-        labels = np.asarray(artifact.result.labels)
-        artifact.result.metadata["stream_batch"] = index
-        artifact.result.metadata["stream_touched_nodes"] = int(
-            np.asarray(touched).size
-        )
-        if model_state is not None:
-            model_state.track(labels)
-        previous = labels
-        yield artifact
+            model_state.release()

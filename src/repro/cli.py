@@ -10,8 +10,12 @@ assignment plus quality metrics; ``--spec spec.json`` drives the run from
 a declarative :class:`repro.api.RunSpec` instead of individual flags, and
 ``--artifact out.json`` persists the full :class:`repro.api.RunArtifact`.
 ``bench`` regenerates one evaluation artefact at a chosen scale and
-prints the report.  ``repro lint [paths]`` runs the project-invariant
-static analysis (:mod:`repro.analysis`) and exits non-zero on findings.
+prints the report.  ``repro serve --port N --max-queue M`` exposes
+``POST /detect`` / ``POST /solve`` over HTTP through one warm session
+(:mod:`repro.server`), shedding load with 429 beyond the queue bound
+and draining gracefully on SIGTERM/SIGINT.  ``repro lint [paths]``
+runs the project-invariant static analysis (:mod:`repro.analysis`)
+and exits non-zero on findings.
 ``repro --list-solvers`` enumerates every registered solver and
 detector.  Everything resolves through the :mod:`repro.api` registries
 — there is no CLI-private solver table.
@@ -437,6 +441,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    import repro.api as api
+    from repro.server import ReproServer
+
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            max_body_bytes=args.max_body_bytes,
+            max_workers=args.max_workers,
+            executor=args.executor,
+            wire=args.wire,
+        )
+    except (api.SessionError, OSError) as error:
+        raise SystemExit(str(error)) from None
+    print(
+        f"serving on {server.url} "
+        f"(queue bound {server.max_queue}, "
+        f"POST /detect /solve, GET /healthz /stats)",
+        flush=True,
+    )
+    print(_session_line(server.session.stats()), flush=True)
+
+    def _drain(signum: int, frame: object) -> None:
+        print(
+            f"received {signal.Signals(signum).name}; draining "
+            f"(in-flight requests finish, new ones get 503)",
+            flush=True,
+        )
+        server.request_shutdown()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    counters = server.stats()["server"]
+    print(
+        f"drained: {counters['served']} served, "
+        f"{counters['shed']} shed, "
+        f"{counters['timed_out']} timed out, "
+        f"{counters['errors']} errors"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import RULES, LintEngine, LintRuleError, load_config
     from repro.analysis.engine import render_json, render_text
@@ -475,10 +532,10 @@ def _add_session_flags(
 ) -> None:
     """Attach the uniform session-backend flags to a subcommand.
 
-    ``repro detect --repeat``, ``repro stream`` and ``repro bench`` all
-    drive :class:`repro.api.Session`; these three flags pick its
-    backend identically everywhere, and each command prints the
-    resolved backend it ran on.
+    ``repro detect --repeat``, ``repro stream``, ``repro bench`` and
+    ``repro serve`` all drive :class:`repro.api.Session`; these three
+    flags pick its backend identically everywhere, and each command
+    prints the resolved backend it ran on.
     """
     parser.add_argument(
         "--executor",
@@ -676,6 +733,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON array of per-batch run artifacts here",
     )
     stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve detect/solve specs over HTTP through one warm "
+            "session (stdlib server, bounded queue)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help=(
+            "bind port (default: 8000; 0 binds an ephemeral port, "
+            "printed on startup)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help=(
+            "bound on in-flight + queued requests; beyond it the "
+            "server sheds load with 429 + Retry-After (default: 8)"
+        ),
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="request-body size cap; larger bodies get 413 "
+        "(default: 8 MiB)",
+    )
+    _add_session_flags(serve, default_executor="auto")
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench", help="regenerate one paper table/figure"

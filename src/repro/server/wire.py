@@ -1,0 +1,202 @@
+"""JSON request wire for the service tier (``repro serve``).
+
+One request body is one JSON object carrying the input and the
+:class:`repro.api.RunSpec` to run on it:
+
+``POST /detect``::
+
+    {"graph": {"n_nodes": 15, "edges": [[0, 1], [1, 2, 0.5], ...]},
+     "spec": {"solver": "greedy", "n_communities": 3, "seed": 0},
+     "time_limit": 2.0}          # optional per-request SLA, seconds
+
+``POST /solve``::
+
+    {"qubo": {"quadratic": [[...], ...], "linear": [...],
+              "offset": 0.0},
+     "spec": {"solver": "simulated-annealing", "seed": 0}}
+
+Malformed bodies raise :class:`WireError`, which the server maps to
+HTTP 422 — the wire layer never sees sockets and the HTTP layer never
+sees graph/QUBO semantics.
+
+The optional top-level ``time_limit`` is threaded into the spec through
+the solvers' existing ``time_limit`` knob by :func:`apply_time_limit`
+(the same warn-free policy as ``repro detect --time-limit``): a spec
+that already pins a budget keeps its own, and a spec whose solver has
+no such knob is run unchanged rather than rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.spec import RunSpec, SpecError
+from repro.exceptions import ReproError
+
+
+class WireError(ReproError):
+    """Raised for malformed service-tier request payloads."""
+
+
+def _require_object(payload: Any, label: str) -> dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"{label} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _reject_unknown(payload: dict[str, Any], known: set[str],
+                    label: str) -> None:
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise WireError(
+            f"unknown {label} keys: {unknown}; "
+            f"known keys: {sorted(known)}"
+        )
+
+
+def _parse_spec(payload: dict[str, Any]) -> RunSpec:
+    if "spec" not in payload:
+        raise WireError("request body must carry a 'spec' object")
+    try:
+        return RunSpec.from_dict(_require_object(payload["spec"], "'spec'"))
+    except SpecError as error:
+        raise WireError(f"invalid spec: {error}") from error
+
+
+def parse_time_limit(payload: dict[str, Any]) -> float | None:
+    """Extract the optional per-request ``time_limit`` (seconds)."""
+    value = payload.get("time_limit")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(
+            f"time_limit must be a number of seconds, "
+            f"got {type(value).__name__}"
+        )
+    if value <= 0:
+        raise WireError(f"time_limit must be > 0, got {value}")
+    return float(value)
+
+
+def parse_detect_request(payload: Any) -> tuple[Any, RunSpec]:
+    """Parse a ``POST /detect`` body into ``(Graph, RunSpec)``.
+
+    Examples
+    --------
+    >>> graph, spec = parse_detect_request({
+    ...     "graph": {"n_nodes": 3, "edges": [[0, 1], [1, 2, 2.0]]},
+    ...     "spec": {"solver": "greedy", "n_communities": 2, "seed": 0},
+    ... })
+    >>> graph.n_nodes, spec.solver
+    (3, 'greedy')
+    """
+    from repro.graphs.graph import Graph
+
+    body = _require_object(payload, "request body")
+    _reject_unknown(body, {"graph", "spec", "time_limit"}, "request")
+    if "graph" not in body:
+        raise WireError("detect request must carry a 'graph' object")
+    graph_payload = _require_object(body["graph"], "'graph'")
+    _reject_unknown(graph_payload, {"n_nodes", "edges"}, "graph")
+    if "n_nodes" not in graph_payload or "edges" not in graph_payload:
+        raise WireError("'graph' must carry 'n_nodes' and 'edges'")
+    try:
+        graph = Graph(graph_payload["n_nodes"], graph_payload["edges"])
+    except ReproError as error:
+        raise WireError(f"invalid graph: {error}") from error
+    except (TypeError, ValueError) as error:
+        raise WireError(f"invalid graph: {error}") from error
+    return graph, _parse_spec(body)
+
+
+def parse_solve_request(payload: Any) -> tuple[Any, RunSpec]:
+    """Parse a ``POST /solve`` body into ``(QuboModel, RunSpec)``.
+
+    Examples
+    --------
+    >>> model, spec = parse_solve_request({
+    ...     "qubo": {"quadratic": [[0.0, 1.0], [1.0, 0.0]],
+    ...              "linear": [-1.0, 1.0]},
+    ...     "spec": {"solver": "greedy", "seed": 0},
+    ... })
+    >>> model.n_variables, spec.solver
+    (2, 'greedy')
+    """
+    from repro.qubo.model import QuboModel
+
+    body = _require_object(payload, "request body")
+    _reject_unknown(body, {"qubo", "spec", "time_limit"}, "request")
+    if "qubo" not in body:
+        raise WireError("solve request must carry a 'qubo' object")
+    qubo_payload = _require_object(body["qubo"], "'qubo'")
+    _reject_unknown(
+        qubo_payload, {"quadratic", "linear", "offset"}, "qubo"
+    )
+    if "quadratic" not in qubo_payload:
+        raise WireError("'qubo' must carry a 'quadratic' matrix")
+    try:
+        model = QuboModel(
+            qubo_payload["quadratic"],
+            linear=qubo_payload.get("linear"),
+            offset=float(qubo_payload.get("offset", 0.0)),
+        )
+    except ReproError as error:
+        raise WireError(f"invalid qubo: {error}") from error
+    except (TypeError, ValueError) as error:
+        raise WireError(f"invalid qubo: {error}") from error
+    return model, _parse_spec(body)
+
+
+def apply_time_limit(spec: RunSpec, time_limit: float | None) -> RunSpec:
+    """Thread a per-request SLA into the spec's solver budget.
+
+    Mirrors the ``repro detect --time-limit`` merge policy without the
+    warnings (a server must not warn per request):
+
+    * a spec that already pins ``solver_config["time_limit"]`` keeps
+      its own budget — the client asked for that exact run;
+    * a named solver that accepts ``time_limit`` gets the budget
+      merged into its config;
+    * a spec relying on the detector's default (QHD) solver with no
+      solver customisation gets ``solver="qhd"`` named explicitly so
+      the budget has somewhere to land;
+    * anything else runs unchanged — the SLA is best-effort, not a
+      validation rule.
+    """
+    if time_limit is None:
+        return spec
+    import repro.api as api
+
+    if "time_limit" in spec.solver_config:
+        return spec
+    if spec.solver is not None:
+        if (
+            spec.solver in api.SOLVERS
+            and "time_limit" in api.SOLVERS.get(spec.solver).config_fields()
+        ):
+            return spec.replace(
+                solver_config={
+                    **spec.solver_config, "time_limit": time_limit
+                }
+            )
+        return spec
+    detector_cls = (
+        api.DETECTORS.get(spec.detector)
+        if spec.detector in api.DETECTORS
+        else None
+    )
+    shaping = {"solver"} | set(
+        getattr(detector_cls, "default_solver_fields", ())
+    )
+    if (
+        detector_cls is not None
+        and "solver" in detector_cls.config_fields()
+        and not (shaping & set(spec.detector_config))
+    ):
+        return spec.replace(
+            solver="qhd", solver_config={"time_limit": time_limit}
+        )
+    return spec

@@ -1,0 +1,189 @@
+"""``api.AsyncSession``: awaitable verbs over the session runtime.
+
+The asyncio surface is a thin bridge (``Session.submit`` futures
+wrapped with :func:`asyncio.wrap_future`), so the contracts under test
+are exactly the session's: seeded awaited runs bit-identical to the
+synchronous verbs, batch ≡ singles, bounded concurrency, and clean
+ownership semantics for wrapped vs private sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import runner
+from repro.api.session import Session, SessionError
+from repro.graphs.generators import ring_of_cliques
+from repro.qubo.random_instances import random_qubo
+
+QHD_SPEC = {
+    "detector": "qhd",
+    "solver": "qhd",
+    "solver_config": {"n_samples": 4, "grid_points": 8, "n_steps": 15},
+    "n_communities": 3,
+    "seed": 7,
+}
+
+
+def _graph():
+    return ring_of_cliques(3, 5)[0]
+
+
+def _fresh_artifact(graph, spec):
+    return runner._detect_one(graph, runner._spec_of(spec), 0)
+
+
+class TestAsyncVerbs:
+    def test_detect_matches_sync(self):
+        graph = _graph()
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+
+        async def main():
+            async with api.AsyncSession() as session:
+                return await session.detect(graph, QHD_SPEC)
+
+        artifact = asyncio.run(main())
+        np.testing.assert_array_equal(
+            artifact.result.labels, fresh.result.labels
+        )
+        assert (
+            artifact.result.solve_result.energy
+            == fresh.result.solve_result.energy
+        )
+
+    def test_solve_matches_sync(self):
+        model = random_qubo(8, 0.4, seed=2)
+        spec = {"solver": "greedy", "seed": 0}
+        expected = api.solve(model, spec)
+
+        async def main():
+            async with api.AsyncSession() as session:
+                return await session.solve(model, spec)
+
+        artifact = asyncio.run(main())
+        assert artifact.result.energy == expected.result.energy
+        np.testing.assert_array_equal(
+            artifact.result.x, expected.result.x
+        )
+
+    def test_submit_infers_kind(self):
+        graph = _graph()
+        model = random_qubo(6, 0.5, seed=0)
+
+        async def main():
+            async with api.AsyncSession() as session:
+                detect = await session.submit(graph, QHD_SPEC)
+                solve = await session.submit(
+                    model, {"solver": "greedy", "seed": 0}
+                )
+                return detect, solve
+
+        detect, solve = asyncio.run(main())
+        assert detect.result.labels.shape == (graph.n_nodes,)
+        assert solve.result.x.shape == (6,)
+
+    def test_detect_batch_equals_singles(self):
+        graphs = [ring_of_cliques(3, 4)[0] for _ in range(4)]
+        expected = [_fresh_artifact(g, QHD_SPEC) for g in graphs]
+
+        async def main():
+            async with api.AsyncSession(max_workers=2) as session:
+                return await session.detect_batch(graphs, QHD_SPEC)
+
+        artifacts = asyncio.run(main())
+        assert [a.index for a in artifacts] == [0, 1, 2, 3]
+        for want, have in zip(expected, artifacts):
+            np.testing.assert_array_equal(
+                want.result.labels, have.result.labels
+            )
+
+    def test_solve_batch_round_trips(self):
+        models = [random_qubo(8, 0.4, seed=i) for i in range(3)]
+        spec = {"solver": "greedy", "seed": 3}
+
+        async def main():
+            async with api.AsyncSession() as session:
+                batch = await session.solve_batch(models, spec)
+                singles = [
+                    await session.solve(m, spec) for m in models
+                ]
+                return batch, singles
+
+        batch, singles = asyncio.run(main())
+        for one, many in zip(singles, batch):
+            assert one.result.energy == many.result.energy
+
+    def test_gathered_detects_are_deterministic(self):
+        """Concurrent awaits reproduce the single-run artifact."""
+        graph = _graph()
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+
+        async def main():
+            async with api.AsyncSession(max_workers=2) as session:
+                return await asyncio.gather(
+                    *[session.detect(graph, QHD_SPEC) for _ in range(5)]
+                )
+
+        for artifact in asyncio.run(main()):
+            np.testing.assert_array_equal(
+                artifact.result.labels, fresh.result.labels
+            )
+
+
+class TestAsyncLifecycle:
+    def test_owned_session_closed_on_exit(self):
+        async def main():
+            async with api.AsyncSession() as session:
+                inner = session.session
+                assert not session.closed
+            return inner
+
+        inner = asyncio.run(main())
+        assert inner.closed
+
+    def test_wrapped_session_left_open(self):
+        sync = Session()
+
+        async def main():
+            async with api.AsyncSession(sync) as session:
+                await session.detect(_graph(), QHD_SPEC)
+
+        asyncio.run(main())
+        assert not sync.closed
+        assert sync.stats()["runs"] == 1
+        sync.close()
+
+    def test_verbs_after_close_raise(self):
+        sync = Session()
+        sync.close()
+
+        async def main():
+            wrapper = api.AsyncSession(sync)
+            with pytest.raises(SessionError, match="closed"):
+                await wrapper.detect(_graph(), QHD_SPEC)
+
+        asyncio.run(main())
+
+    def test_aclose_is_idempotent(self):
+        async def main():
+            session = api.AsyncSession()
+            await session.detect(_graph(), QHD_SPEC)
+            await session.aclose()
+            await session.aclose()
+            return session.closed
+
+        assert asyncio.run(main())
+
+    def test_stats_pass_through(self):
+        async def main():
+            async with api.AsyncSession() as session:
+                await session.detect(_graph(), QHD_SPEC)
+                return session.stats()
+
+        stats = asyncio.run(main())
+        assert stats["runs"] == 1
+        assert "clamped_calls" in stats

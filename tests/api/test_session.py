@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -199,3 +200,142 @@ class TestSessionConcurrency:
         pool_stats = stats["engine_pool"]
         assert pool_stats["hits"] >= pool_stats["misses"]
         assert stats["runs"] == 18
+
+
+class TestSubmit:
+    """``Session.submit``: the Future-returning single-run surface."""
+
+    def test_submit_matches_detect(self, clique_ring):
+        graph, _ = clique_ring
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+        with Session() as session:
+            artifact = session.submit(graph, QHD_SPEC).result()
+        np.testing.assert_array_equal(
+            artifact.result.labels, fresh.result.labels
+        )
+        assert (
+            artifact.result.solve_result.energy
+            == fresh.result.solve_result.energy
+        )
+
+    def test_submit_infers_kind(self, clique_ring):
+        graph, _ = clique_ring
+        model = random_qubo(8, 0.4, seed=1)
+        spec = {"solver": "greedy", "n_communities": 3, "seed": 0}
+        with Session() as session:
+            detect = session.submit(graph, spec).result()
+            solve = session.submit(
+                model, {"solver": "greedy", "seed": 0}
+            ).result()
+        assert detect.result.labels.shape == (graph.n_nodes,)
+        assert solve.result.x.shape == (8,)
+
+    def test_submit_rejects_bad_kind(self, clique_ring):
+        graph, _ = clique_ring
+        with Session() as session:
+            with pytest.raises(SessionError, match="kind"):
+                session.submit(graph, QHD_SPEC, kind="stream")
+
+    def test_submit_after_close_raises(self, clique_ring):
+        graph, _ = clique_ring
+        session = Session()
+        session.close()
+        with pytest.raises(SessionError, match="closed"):
+            session.submit(graph, QHD_SPEC)
+
+    def test_concurrent_submits_count_runs(self, clique_ring):
+        graph, _ = clique_ring
+        with Session(max_workers=2) as session:
+            futures = [
+                session.submit(graph, QHD_SPEC) for _ in range(4)
+            ]
+            artifacts = [f.result() for f in futures]
+            assert session.stats()["runs"] == 4
+        reference = artifacts[0].result.labels
+        for artifact in artifacts[1:]:
+            np.testing.assert_array_equal(
+                artifact.result.labels, reference
+            )
+
+    def test_process_backend_submit_ships_arrays(self, clique_ring):
+        graph, _ = clique_ring
+        fresh = _fresh_artifact(graph, QHD_SPEC)
+        with Session(executor="process", max_workers=2) as session:
+            artifact = session.submit(graph, QHD_SPEC).result()
+            stats = session.stats()
+        np.testing.assert_array_equal(
+            artifact.result.labels, fresh.result.labels
+        )
+        assert stats["wire"]["bytes_shipped"] > 0
+
+
+class TestClampWarnOnce:
+    """Bugfix: the width clamp warns once, not per call."""
+
+    def test_warns_once_per_width_and_counts(self):
+        graphs = [ring_of_cliques(3, 4)[0] for _ in range(2)]
+        spec = {"solver": "greedy", "n_communities": 3, "seed": 0}
+        with Session(max_workers=1) as session:
+            with pytest.warns(RuntimeWarning, match="clamping"):
+                session.detect_batch(graphs, spec, max_workers=5)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                session.detect_batch(graphs, spec, max_workers=5)
+            assert session.stats()["clamped_calls"] == 2
+            # A different oversized width warns once more.
+            with pytest.warns(RuntimeWarning, match="clamping"):
+                session.detect_batch(graphs, spec, max_workers=7)
+            assert session.stats()["clamped_calls"] == 3
+
+    def test_in_range_widths_never_counted(self):
+        graphs = [ring_of_cliques(3, 4)[0] for _ in range(2)]
+        spec = {"solver": "greedy", "n_communities": 3, "seed": 0}
+        with Session(max_workers=2) as session:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                session.detect_batch(graphs, spec, max_workers=1)
+                session.detect_batch(graphs, spec)
+            assert session.stats()["clamped_calls"] == 0
+
+
+class TestDefaultSessionShutdownLatch:
+    """Bugfix: no zombie default session after the atexit hook ran."""
+
+    def test_manual_close_still_rebuilds(self):
+        from repro.api.session import _close_default_session
+
+        first = default_session()
+        _close_default_session()
+        second = default_session()
+        assert second is not first and not second.closed
+
+    def test_after_atexit_hook_refuses_to_rebuild(self, clique_ring):
+        from repro.api import session as session_module
+
+        graph, _ = clique_ring
+        assert not session_module._default_shutdown
+        try:
+            session_module._shutdown_default_session()
+            assert session_module._default_shutdown
+            with pytest.raises(SessionError, match="interpreter exit"):
+                default_session()
+            # The facade verbs route through default_session(), so a
+            # teardown-time facade call fails loudly instead of
+            # leaking a fresh executor-owning session.
+            spec = {"solver": "greedy", "n_communities": 3, "seed": 0}
+            with pytest.raises(SessionError, match="interpreter exit"):
+                api.detect(graph, spec)
+        finally:
+            session_module._default_shutdown = False
+        # Back out of the simulated teardown: rebuild works again.
+        assert not default_session().closed
+
+    def test_shutdown_hook_is_idempotent(self):
+        from repro.api import session as session_module
+
+        try:
+            session_module._shutdown_default_session()
+            session_module._shutdown_default_session()
+            assert session_module._default_session is None
+        finally:
+            session_module._default_shutdown = False

@@ -213,3 +213,84 @@ class TestLabelTracking:
         state.track(np.array([0, 5, 0, 1]))
         assert state._state is None
         assert state.warm_labels(graph) is None
+
+
+class TestAbandonedStreamTeardown:
+    """Bugfix: abandoning a stream releases its warm state."""
+
+    def test_break_mid_stream_releases_warm_state(self):
+        from repro.api.stream import _WarmModelState
+
+        captured = {}
+        original_init = _WarmModelState.__init__
+
+        def spying_init(self, graph, n_communities):
+            original_init(self, graph, n_communities)
+            captured["state"] = self
+
+        _WarmModelState.__init__ = spying_init
+        try:
+            stream = api.detect_stream(_graph(), UPDATES, SPEC)
+            next(stream)  # consume one batch, then abandon
+            stream.close()
+        finally:
+            _WarmModelState.__init__ = original_init
+        state = captured["state"]
+        assert state._qubo is None
+        assert state._patcher is None
+        assert state._state is None
+
+    def test_exhausted_stream_releases_warm_state(self):
+        from repro.api.stream import _WarmModelState
+
+        captured = {}
+        original_init = _WarmModelState.__init__
+
+        def spying_init(self, graph, n_communities):
+            original_init(self, graph, n_communities)
+            captured["state"] = self
+
+        _WarmModelState.__init__ = spying_init
+        try:
+            artifacts = list(api.detect_stream(_graph(), UPDATES, SPEC))
+        finally:
+            _WarmModelState.__init__ = original_init
+        assert len(artifacts) == len(UPDATES)
+        state = captured["state"]
+        assert state._qubo is None and state._patcher is None
+
+    def test_abandoned_stream_leaves_session_usable(self):
+        import os
+
+        has_dev_shm = os.path.isdir("/dev/shm")
+        before = set(os.listdir("/dev/shm")) if has_dev_shm else set()
+        with Session(max_workers=2) as session:
+            stream = session.detect_stream(_graph(), UPDATES, SPEC)
+            next(stream)
+            stream.close()
+            # The session survives its stream being abandoned: a
+            # follow-up batch runs normally on the same engine pool.
+            follow_up = session.detect_batch([_graph()] * 2, SPEC)
+            assert len(follow_up) == 2
+        if has_dev_shm:
+            assert set(os.listdir("/dev/shm")) == before
+
+    def test_generator_exit_on_garbage_collection(self):
+        """A dropped reference triggers the same finally teardown."""
+        from repro.api.stream import _WarmModelState
+
+        captured = {}
+        original_init = _WarmModelState.__init__
+
+        def spying_init(self, graph, n_communities):
+            original_init(self, graph, n_communities)
+            captured["state"] = self
+
+        _WarmModelState.__init__ = spying_init
+        try:
+            stream = api.detect_stream(_graph(), UPDATES, SPEC)
+            next(stream)
+            del stream  # CPython: refcount -> GeneratorExit -> finally
+        finally:
+            _WarmModelState.__init__ = original_init
+        assert captured["state"]._qubo is None

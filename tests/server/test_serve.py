@@ -1,0 +1,365 @@
+"""End-to-end lifecycle of the service tier (``ReproServer``).
+
+Tier-1 contracts from the service issue: seeded ``POST /detect``
+responses byte-identical to direct :func:`repro.api.detect` artifacts
+(modulo wall-clock timings), bounded-queue backpressure (429 +
+``Retry-After``, both deterministically and under a real burst),
+per-request ``time_limit`` SLAs surfacing ``status="time_limit"``,
+the full HTTP error mapping, and a SIGTERM drain that leaves no worker
+processes or ``/dev/shm`` segments behind.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.api as api
+from repro.graphs.generators import ring_of_cliques
+from repro.server import ReproServer
+
+QHD_SPEC = {
+    "detector": "qhd",
+    "solver": "qhd",
+    "solver_config": {"n_samples": 4, "grid_points": 8, "n_steps": 15},
+    "n_communities": 3,
+    "seed": 7,
+}
+
+HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+def _shm_entries() -> set:
+    return set(os.listdir("/dev/shm")) if HAS_DEV_SHM else set()
+
+
+def _graph_payload(graph) -> dict:
+    return {
+        "n_nodes": graph.n_nodes,
+        "edges": [
+            [int(u), int(v), float(w)] for u, v, w in graph.edges()
+        ],
+    }
+
+
+def _request(url: str, body: dict | None = None, timeout: float = 60.0):
+    """POST ``body`` (or GET when ``None``); return (status, json, headers)."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@contextlib.contextmanager
+def _serving(**kwargs):
+    """A ``ReproServer`` on an ephemeral port, drained on exit."""
+    server = ReproServer(port=0, **kwargs)
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-under-test"
+    )
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert server.session.closed
+
+
+def _scrub_timings(payload):
+    """Drop wall-clock fields so artifacts compare bit-for-bit."""
+    if isinstance(payload, dict):
+        return {
+            key: _scrub_timings(value)
+            for key, value in payload.items()
+            if key not in ("timings", "wall_time")
+        }
+    if isinstance(payload, list):
+        return [_scrub_timings(entry) for entry in payload]
+    return payload
+
+
+class TestEndpoints:
+    def test_healthz_and_stats(self):
+        with _serving(max_queue=2, executor="thread") as server:
+            status, body, _ = _request(server.url + "/healthz")
+            assert (status, body) == (200, {"status": "ok"})
+            status, stats, _ = _request(server.url + "/stats")
+            assert status == 200
+            assert stats["server"]["max_queue"] == 2
+            assert stats["server"]["queue_depth"] == 0
+            assert stats["session"]["runs"] == 0
+            assert "engine_pool" in stats["session"]
+
+    def test_detect_byte_identical_to_direct_run(self):
+        graph, _ = ring_of_cliques(3, 5)
+        expected = json.loads(api.detect(graph, QHD_SPEC).to_json())
+        with _serving(max_queue=4, executor="thread") as server:
+            responses = [
+                _request(
+                    server.url + "/detect",
+                    {"graph": _graph_payload(graph), "spec": QHD_SPEC},
+                )
+                for _ in range(3)
+            ]
+            stats = server.stats()["server"]
+        assert stats["served"] == 3
+        for status, body, _ in responses:
+            assert status == 200
+            assert _scrub_timings(body) == _scrub_timings(expected)
+
+    def test_solve_round_trip(self):
+        body = {
+            "qubo": {
+                "quadratic": [[0.0, 2.0], [0.0, 0.0]],
+                "linear": [-1.0, -1.0],
+            },
+            "spec": {"solver": "greedy", "seed": 0},
+        }
+        with _serving(max_queue=2, executor="thread") as server:
+            status, payload, _ = _request(server.url + "/solve", body)
+        assert status == 200
+        assert payload["result"]["energy"] == -1.0
+
+    def test_time_limit_sla_surfaces_status(self):
+        n = 100
+        quadratic = [
+            [float((i * j) % 7 - 3) for j in range(n)] for i in range(n)
+        ]
+        body = {
+            "qubo": {"quadratic": quadratic},
+            "spec": {
+                "solver": "simulated-annealing",
+                "solver_config": {"n_sweeps": 5_000_000},
+                "seed": 0,
+            },
+            "time_limit": 0.1,
+        }
+        with _serving(max_queue=2, executor="thread") as server:
+            status, payload, _ = _request(server.url + "/solve", body)
+            stats = server.stats()["server"]
+        assert status == 200
+        assert payload["result"]["status"] == "time_limit"
+        assert payload["spec"]["solver_config"]["time_limit"] == 0.1
+        assert stats["timed_out"] == 1
+        assert stats["served"] == 1
+
+
+class TestErrorMapping:
+    def test_unknown_path_404_and_wrong_method_405(self):
+        with _serving(max_queue=2, executor="thread") as server:
+            assert _request(server.url + "/nope")[0] == 404
+            status, _, headers = _request(
+                server.url + "/detect"
+            )  # GET on a POST route
+            assert status == 405
+            assert headers.get("Allow") == "POST"
+            assert _request(server.url + "/healthz", {})[0] == 405
+
+    def test_bad_json_400_and_bad_payload_422(self):
+        with _serving(max_queue=2, executor="thread") as server:
+            request = urllib.request.Request(
+                server.url + "/detect", data=b"{not json"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=30)
+            assert err.value.code == 400
+            status, body, _ = _request(
+                server.url + "/detect",
+                {"graph": {"n_nodes": 2}, "spec": {}},
+            )
+            assert status == 422
+            assert "edges" in body["error"]
+            # Well-formed wire, invalid spec semantics (unknown solver)
+            status, body, _ = _request(
+                server.url + "/solve",
+                {
+                    "qubo": {"quadratic": [[0.0]]},
+                    "spec": {"solver": "no-such-solver", "seed": 0},
+                },
+            )
+            assert status == 422
+            assert server.stats()["server"]["errors"] == 3
+
+    def test_missing_length_411_and_oversized_413(self):
+        with _serving(
+            max_queue=2, executor="thread", max_body_bytes=64
+        ) as server:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            try:
+                connection.putrequest("POST", "/detect")
+                connection.endheaders()
+                assert connection.getresponse().status == 411
+            finally:
+                connection.close()
+            # An honest Content-Length over the cap is refused before
+            # the body is read — no giant buffer ever materialises.
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            try:
+                connection.putrequest("POST", "/detect")
+                connection.putheader("Content-Length", str(10**9))
+                connection.endheaders()
+                assert connection.getresponse().status == 413
+            finally:
+                connection.close()
+
+    def test_draining_returns_503(self):
+        graph, _ = ring_of_cliques(3, 4)
+        body = {"graph": _graph_payload(graph), "spec": QHD_SPEC}
+        with _serving(max_queue=2, executor="thread") as server:
+            server._draining = True
+            try:
+                status, payload, headers = _request(
+                    server.url + "/detect", body
+                )
+                assert status == 503
+                assert headers.get("Retry-After") == "1"
+                health = _request(server.url + "/healthz")[1]
+                assert health == {"status": "draining"}
+            finally:
+                server._draining = False
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_with_429(self):
+        graph, _ = ring_of_cliques(3, 4)
+        body = {"graph": _graph_payload(graph), "spec": QHD_SPEC}
+        with _serving(max_queue=2, executor="thread") as server:
+            # Deterministically exhaust the admission slots.
+            assert server._slots.acquire(blocking=False)
+            assert server._slots.acquire(blocking=False)
+            try:
+                status, payload, headers = _request(
+                    server.url + "/detect", body
+                )
+            finally:
+                server._slots.release()
+                server._slots.release()
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert "queue is full" in payload["error"]
+            assert server.stats()["server"]["shed"] == 1
+            # Slots freed: the same request is served again.
+            assert _request(server.url + "/detect", body)[0] == 200
+
+    def test_burst_beyond_bound_sheds_but_serves_the_rest(self):
+        n = 80
+        quadratic = [
+            [float((i + j) % 5 - 2) for j in range(n)] for i in range(n)
+        ]
+        slow_body = {
+            "qubo": {"quadratic": quadratic},
+            "spec": {
+                "solver": "simulated-annealing",
+                "solver_config": {"n_sweeps": 5_000_000},
+                "seed": 0,
+            },
+            "time_limit": 1.0,
+        }
+        results = []
+        with _serving(
+            max_queue=1, executor="thread", max_workers=1
+        ) as server:
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(
+                        _request(server.url + "/solve", slow_body)
+                    )
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = server.stats()["server"]
+        statuses = sorted(status for status, _, _ in results)
+        assert len(statuses) == 4
+        assert statuses[0] == 200  # someone got served
+        assert statuses[-1] == 429  # and someone was shed
+        assert stats["served"] + stats["shed"] == 4
+        assert stats["served"] >= 1 and stats["shed"] >= 1
+
+
+class TestSigtermDrain:
+    def test_sigterm_exits_cleanly_with_no_leaks(self):
+        """``repro serve`` + SIGTERM: rc 0, no workers, no shm."""
+        graph, _ = ring_of_cliques(3, 4)
+        body = {"graph": _graph_payload(graph), "spec": QHD_SPEC}
+        before = _shm_entries()
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--max-queue",
+                "2",
+                "--executor",
+                "process",
+                "--wire",
+                "shm",
+                "--max-workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            start_new_session=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, banner
+            url = f"http://127.0.0.1:{match.group(1)}"
+            status, payload, _ = _request(url + "/detect", body)
+            assert status == 200
+            expected = api.detect(graph, QHD_SPEC)
+            assert payload["result"]["labels"] == [
+                int(label) for label in expected.result.labels
+            ]
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=120)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30)
+        assert process.returncode == 0, output
+        assert "drained: 1 served" in output, output
+        # The whole process group is gone: the session's worker
+        # processes were reaped by the drain, not orphaned.
+        with pytest.raises(ProcessLookupError):
+            os.killpg(process.pid, 0)
+        if HAS_DEV_SHM:
+            assert _shm_entries() == before
